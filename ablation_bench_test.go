@@ -1,0 +1,104 @@
+// Ablation benchmarks for the design choices documented in DESIGN.md §5a
+// and the paper-§5 extensions:
+//
+//	go test -bench Ablation -benchtime 1x
+//
+// Each pair reports IPC with a mechanism enabled and disabled, isolating
+// its contribution:
+//
+//   - source forwarding (paper Figure 2's consumer rewrite to renaming
+//     registers) versus waiting for copy instructions;
+//   - the checkpoint store scheme versus the §3.11 data-store-list
+//     alternative (recovery cost shows up under aliasing pressure);
+//   - next-long-instruction prediction (paper §5) versus the baseline
+//     one-cycle trace-exit bubble.
+package dtsvliw
+
+import (
+	"testing"
+
+	"dtsvliw/internal/core"
+	"dtsvliw/internal/vliw"
+	"dtsvliw/internal/workloads"
+)
+
+// BenchmarkAblationForwarding isolates source forwarding: without it,
+// consumers of split values wait for the copy and dependence chains
+// re-serialise at every split point.
+func BenchmarkAblationForwarding(b *testing.B) {
+	for _, w := range workloads.All() {
+		b.Run("on/"+w.Name, func(b *testing.B) {
+			benchRun(b, w, core.IdealConfig(8, 8))
+		})
+		b.Run("off/"+w.Name, func(b *testing.B) {
+			cfg := core.IdealConfig(8, 8)
+			cfg.NoSourceForwarding = true
+			benchRun(b, w, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationStoreScheme compares the evaluated checkpoint scheme
+// against the paper's data-store-list alternative.
+func BenchmarkAblationStoreScheme(b *testing.B) {
+	for _, w := range workloads.All() {
+		b.Run("checkpoint/"+w.Name, func(b *testing.B) {
+			benchRun(b, w, core.FeasibleConfig())
+		})
+		b.Run("storelist/"+w.Name, func(b *testing.B) {
+			cfg := core.FeasibleConfig()
+			cfg.StoreScheme = vliw.SchemeStoreList
+			benchRun(b, w, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationExitPrediction isolates next-long-instruction
+// prediction on the branchiest workloads, where trace exits dominate.
+func BenchmarkAblationExitPrediction(b *testing.B) {
+	for _, name := range []string{"gcc", "go", "xlisp", "compress"} {
+		w, _ := workloads.ByName(name)
+		b.Run("off/"+name, func(b *testing.B) {
+			benchRun(b, w, core.IdealConfig(8, 8))
+		})
+		b.Run("on/"+name, func(b *testing.B) {
+			cfg := core.IdealConfig(8, 8)
+			cfg.ExitPrediction = true
+			benchRun(b, w, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationGeometryExtremes contrasts degenerate geometries
+// against the balanced 8x8 block the paper recommends.
+func BenchmarkAblationGeometryExtremes(b *testing.B) {
+	for _, g := range [][2]int{{64, 1}, {1, 64}, {8, 8}} {
+		for _, name := range []string{"ijpeg", "gcc"} {
+			w, _ := workloads.ByName(name)
+			b.Run(geoName(g)+"/"+name, func(b *testing.B) {
+				benchRun(b, w, core.IdealConfig(g[0], g[1]))
+			})
+		}
+	}
+}
+
+// BenchmarkAblationLoadLatency sweeps load latency 1..4 (the design
+// space of the paper's companion multicycle study) on the two most
+// load-bound workloads.
+func BenchmarkAblationLoadLatency(b *testing.B) {
+	for lat := 1; lat <= 4; lat++ {
+		for _, name := range []string{"vortex", "compress"} {
+			w, _ := workloads.ByName(name)
+			b.Run(geoName([2]int{lat, 0})[:2]+"cy/"+name, func(b *testing.B) {
+				cfg := core.IdealConfig(8, 8)
+				cfg.LoadLatency = lat
+				benchRun(b, w, cfg)
+			})
+		}
+	}
+}
+
+func geoName(g [2]int) string {
+	return string(rune('0'+g[0]/10)) + string(rune('0'+g[0]%10)) + "x" +
+		string(rune('0'+g[1]/10)) + string(rune('0'+g[1]%10))
+}

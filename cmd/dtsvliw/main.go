@@ -1,0 +1,108 @@
+// Command dtsvliw runs a program on the DTSVLIW simulator and reports
+// performance statistics.
+//
+// Run a built-in SPECint95-analogue workload:
+//
+//	dtsvliw -workload ijpeg -width 8 -height 8
+//
+// Or an assembly file:
+//
+//	dtsvliw -file prog.s -feasible
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtsvliw"
+)
+
+func main() {
+	workload := flag.String("workload", "", "built-in workload name (compress gcc go ijpeg m88ksim perl vortex xlisp)")
+	file := flag.String("file", "", "SPARC V7 assembly file to run instead of a workload")
+	width := flag.Int("width", 8, "instructions per long instruction")
+	height := flag.Int("height", 8, "long instructions per block")
+	feasible := flag.Bool("feasible", false, "use the paper's feasible machine configuration")
+	vcacheKB := flag.Int("vcache", 0, "VLIW Cache size in KB (0 = configuration default)")
+	vcacheAssoc := flag.Int("vcache-assoc", 0, "VLIW Cache associativity (0 = default)")
+	max := flag.Uint64("max", 0, "stop after N sequential instructions (0 = run to halt)")
+	testMode := flag.Bool("testmode", false, "lockstep-validate against the sequential test machine")
+	showOutput := flag.Bool("output", false, "print the program's trap output")
+	dumpBlocks := flag.Int("dumpblocks", 0, "print the first N scheduled blocks (Figure 2c style)")
+	flag.Parse()
+
+	var cfg dtsvliw.Config
+	if *feasible {
+		cfg = dtsvliw.Feasible()
+	} else {
+		cfg = dtsvliw.Ideal(*width, *height)
+	}
+	if *vcacheKB > 0 {
+		cfg.VCacheKB = *vcacheKB
+	}
+	if *vcacheAssoc > 0 {
+		cfg.VCacheAssoc = *vcacheAssoc
+	}
+	cfg.MaxInstrs = *max
+	cfg.TestMode = *testMode
+
+	var sys *dtsvliw.System
+	var err error
+	switch {
+	case *workload != "":
+		sys, err = dtsvliw.NewSystemFromWorkload(cfg, *workload)
+	case *file != "":
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		var p *dtsvliw.Program
+		p, err = dtsvliw.Assemble(string(src))
+		if err == nil {
+			sys, err = dtsvliw.NewSystem(cfg, p)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -workload or -file; workloads:", dtsvliw.WorkloadNames())
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpBlocks > 0 {
+		remaining := *dumpBlocks
+		sys.OnBlockSaved(func(dump string) {
+			if remaining > 0 {
+				fmt.Print(dump)
+				remaining--
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		fatal(err)
+	}
+
+	s := sys.Stats()
+	fmt.Printf("instructions:        %d\n", s.Retired)
+	fmt.Printf("cycles:              %d\n", s.Cycles)
+	fmt.Printf("IPC:                 %.3f\n", s.IPC())
+	fmt.Printf("VLIW cycles:         %.2f%%\n", 100*s.VLIWCycleFraction())
+	fmt.Printf("blocks saved:        %d\n", s.BlocksSaved)
+	fmt.Printf("blocks entered:      %d\n", s.Engine.BlocksEntered)
+	fmt.Printf("trace exits:         %d\n", s.Engine.TraceExits)
+	fmt.Printf("splits/copies:       %d/%d\n", s.Sched.Splits, s.Engine.CopiesExecuted)
+	fmt.Printf("aliasing exceptions: %d\n", s.AliasingExceptions)
+	fmt.Printf("renaming (int/fp/flag/mem): %d/%d/%d/%d\n",
+		s.Sched.MaxRenames[0], s.Sched.MaxRenames[1], s.Sched.MaxRenames[2], s.Sched.MaxRenames[3])
+	if sys.Halted() {
+		fmt.Printf("exit code:           %d\n", sys.ExitCode())
+	}
+	if *showOutput && len(sys.Output()) > 0 {
+		fmt.Printf("program output:      %q\n", sys.Output())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtsvliw:", err)
+	os.Exit(1)
+}

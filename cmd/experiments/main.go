@@ -1,0 +1,51 @@
+// Command experiments regenerates the paper's tables and figures on the
+// reproduced DTSVLIW. With no flags it runs every experiment in the
+// paper's order and prints the result tables.
+//
+// Usage:
+//
+//	experiments [-run fig5,table3] [-max N] [-csv] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dtsvliw/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", strings.Join(experiments.Order, ","),
+		"comma-separated experiments: "+strings.Join(experiments.Order, ", "))
+	max := flag.Uint64("max", 0, "cap sequential instructions per run (0 = to completion)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	test := flag.Bool("testmode", false, "run with the lockstep test machine (slow)")
+	flag.Parse()
+
+	o := experiments.Options{MaxInstrs: *max, TestMode: *test}
+	if *verbose {
+		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	for _, name := range strings.Split(*run, ",") {
+		name = strings.TrimSpace(name)
+		r, ok := experiments.Runner[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s)\n",
+				name, strings.Join(experiments.Order, ", "))
+			os.Exit(2)
+		}
+		t, err := r(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Aliasing: a hand-written kernel whose store and load collide only on
+// some iterations, so the address observed by the Scheduler Unit differs
+// from the address at VLIW execution time. The run shows the aliasing
+// exception being detected through the load/store lists, the block rolled
+// back from its checkpoint, and the address rescheduled conservatively
+// (paper §3.10–§3.11) — while lockstep test mode proves the final state
+// still matches sequential execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtsvliw"
+)
+
+const kernel = `
+	.data 0x40000
+buf:	.word 10, 20, 30, 40, 50, 60, 70, 80
+	.text 0x1000
+start:
+	set buf, %l0
+	mov 0, %l3          ! i
+	mov 0, %o0          ! checksum
+loop:
+	and %l3, 7, %l1     ! store through a rotating pointer...
+	sll %l1, 2, %l1
+	add %l3, 100, %l2
+	st %l2, [%l0+%l1]
+	ld [%l0+12], %l4    ! ...then load a fixed slot: they collide when i%8==3
+	add %o0, %l4, %o0
+	add %l3, 1, %l3
+	cmp %l3, 64
+	bl loop
+	ta 0
+`
+
+func main() {
+	p, err := dtsvliw.Assemble(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dtsvliw.Ideal(8, 8)
+	cfg.TestMode = true
+	sys, err := dtsvliw.NewSystem(cfg, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		log.Fatal(err) // a missed alias would fail lockstep validation here
+	}
+	s := sys.Stats()
+	fmt.Println("aliasing kernel on an ideal 8x8 DTSVLIW (lockstep-validated)")
+	fmt.Printf("  aliasing exceptions detected: %d\n", s.AliasingExceptions)
+	fmt.Printf("  blocks rescheduled conservatively: %d\n", s.Sched.ConservativeBl)
+	fmt.Printf("  checksum (exit code): %d\n", sys.ExitCode())
+	fmt.Printf("  IPC: %.2f\n", s.IPC())
+}

@@ -1,0 +1,60 @@
+// Futurework: measure the paper's §5 deferred designs on one workload —
+// next-long-instruction prediction, the §3.11 data-store-list exception
+// scheme, and multicycle load latencies (the companion HPCN'99 study).
+// Every configuration is lockstep-validated while it runs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dtsvliw"
+)
+
+func run(label, workload string, cfg dtsvliw.Config) {
+	cfg.TestMode = true
+	cfg.MaxInstrs = 300_000
+	sys, err := dtsvliw.NewSystemFromWorkload(cfg, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	s := sys.Stats()
+	extra := ""
+	if s.ExitPredHits+s.ExitPredMisses > 0 {
+		extra = fmt.Sprintf("  (predictor %d/%d hits)",
+			s.ExitPredHits, s.ExitPredHits+s.ExitPredMisses)
+	}
+	fmt.Printf("%-34s IPC %5.2f  cycles %8d%s\n", label, s.IPC(), s.Cycles, extra)
+}
+
+func main() {
+	workload := "go"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+	fmt.Printf("paper §5 extensions on %q (ideal 8x8, lockstep-validated):\n\n", workload)
+
+	base := dtsvliw.Ideal(8, 8)
+	run("baseline (paper's machine)", workload, base)
+
+	pred := base
+	pred.ExitPrediction = true
+	run("+ next-LI prediction", workload, pred)
+
+	slist := base
+	slist.StoreListScheme = true
+	run("+ data store list (§3.11 alt)", workload, slist)
+
+	lat := base
+	lat.LoadLatency = 2
+	run("2-cycle loads (companion study)", workload, lat)
+
+	lat3 := base
+	lat3.LoadLatency = 3
+	lat3.FPLatency = 2
+	run("3-cycle loads, 2-cycle FP", workload, lat3)
+}

@@ -1,0 +1,33 @@
+// Geometry: sweep block width and height over one workload — a miniature
+// of the paper's Figure 5, showing how block geometry changes extracted
+// instruction-level parallelism (8x4 beats 4x8; 16x16 captures several
+// loop iterations of ijpeg in one block).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dtsvliw"
+)
+
+func main() {
+	workload := "ijpeg"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+	fmt.Printf("IPC of %s across block geometries (ideal machine):\n\n", workload)
+	fmt.Printf("%8s %8s %8s\n", "geometry", "IPC", "VLIW%")
+	for _, g := range [][2]int{{4, 4}, {4, 8}, {8, 4}, {8, 8}, {16, 8}, {16, 16}} {
+		sys, err := dtsvliw.NewSystemFromWorkload(dtsvliw.Ideal(g[0], g[1]), workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Run(); err != nil {
+			log.Fatal(err)
+		}
+		s := sys.Stats()
+		fmt.Printf("%5dx%-2d %8.2f %7.1f%%\n", g[0], g[1], s.IPC(), 100*s.VLIWCycleFraction())
+	}
+}

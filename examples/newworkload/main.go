@@ -1,0 +1,78 @@
+// Newworkload: write your own SPARC V7 program against the public API and
+// compare the DTSVLIW against the DIF baseline on it. The program below is
+// a string-reversal and checksum kernel; the example then contrasts the
+// same code on three machine configurations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtsvliw"
+)
+
+const program = `
+	.data 0x40000
+msg:	.asciz "dynamically trace scheduled very long instruction word"
+rev:	.space 64
+	.text 0x1000
+start:
+	set msg, %l0
+	mov 0, %l1           ! strlen
+len:
+	ldub [%l0+%l1], %o0
+	tst %o0
+	be lend
+	add %l1, 1, %l1
+	b len
+lend:
+	set rev, %l2         ! reverse into rev
+	mov 0, %l3
+revloop:
+	sub %l1, 1, %o1
+	sub %o1, %l3, %o1
+	ldub [%l0+%o1], %o0
+	stb %o0, [%l2+%l3]
+	add %l3, 1, %l3
+	cmp %l3, %l1
+	bl revloop
+	mov 0, %o0           ! checksum the reversal, many passes
+	mov 40, %l4
+pass:
+	mov 0, %l3
+sum:
+	ldub [%l2+%l3], %o1
+	add %o0, %o1, %o0
+	xor %o0, %l3, %o0
+	add %l3, 1, %l3
+	cmp %l3, %l1
+	bl sum
+	subcc %l4, 1, %l4
+	bg pass
+	ta 0
+`
+
+func run(name string, cfg dtsvliw.Config) {
+	p, err := dtsvliw.Assemble(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.TestMode = true
+	sys, err := dtsvliw.NewSystem(cfg, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	s := sys.Stats()
+	fmt.Printf("%-22s IPC %5.2f  cycles %7d  checksum %d\n",
+		name, s.IPC(), s.Cycles, sys.ExitCode())
+}
+
+func main() {
+	fmt.Println("custom workload across machine configurations:")
+	run("ideal 4x4", dtsvliw.Ideal(4, 4))
+	run("ideal 8x8", dtsvliw.Ideal(8, 8))
+	run("feasible (10 FUs)", dtsvliw.Feasible())
+}

@@ -1,0 +1,3 @@
+module dtsvliw
+
+go 1.22

@@ -1,0 +1,228 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"dtsvliw/internal/asm"
+	"dtsvliw/internal/mem"
+)
+
+// run assembles and executes source, returning the final state (fatal on
+// error).
+func run(t *testing.T, src string) *State {
+	t.Helper()
+	return runProgram(t, src, 1_000_000)
+}
+
+// TestCarryChain: addcc/addx implement multi-word arithmetic.
+func TestCarryChain(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	set 0xFFFFFFFF, %o1  ! low word A
+	mov 1, %o2           ! high word A
+	mov 1, %o3           ! low word B
+	mov 2, %o4           ! high word B
+	addcc %o1, %o3, %l0  ! low sum = 0, carry out
+	addx %o2, %o4, %l1   ! high sum = 1+2+carry = 4
+	mov %l1, %o0
+	ta 0
+`
+	if s := run(t, src); s.ExitCode != 4 {
+		t.Fatalf("high word = %d, want 4", s.ExitCode)
+	}
+}
+
+// TestBorrowChain: subcc/subx implement multi-word subtraction.
+func TestBorrowChain(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	mov 0, %o1           ! low A
+	mov 5, %o2           ! high A
+	mov 1, %o3           ! low B
+	mov 2, %o4           ! high B
+	subcc %o1, %o3, %l0  ! low = -1, borrow
+	subx %o2, %o4, %l1   ! high = 5-2-1 = 2
+	mov %l1, %o0
+	ta 0
+`
+	if s := run(t, src); s.ExitCode != 2 {
+		t.Fatalf("high word = %d, want 2", s.ExitCode)
+	}
+}
+
+// TestTaggedShifts: shift counts use only the low 5 bits.
+func TestTaggedShifts(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	mov 1, %o1
+	mov 33, %o2
+	sll %o1, %o2, %o0    ! shift by 33&31 = 1
+	ta 0
+`
+	if s := run(t, src); s.ExitCode != 2 {
+		t.Fatalf("sll by 33 = %d, want 2", s.ExitCode)
+	}
+}
+
+// TestSwapAndLdstub: the atomic operations exchange values.
+func TestSwapAndLdstub(t *testing.T) {
+	src := `
+	.data 0x40000
+lock:	.word 0x12345678
+	.text 0x1000
+start:
+	set lock, %l0
+	set 0xCAFE, %o1
+	swap [%l0], %o1      ! o1 = 0x12345678, mem = 0xCAFE
+	ldub [%l0+3], %o2    ! low byte of mem = 0xFE
+	ldstub [%l0+3], %o3  ! o3 = 0xFE, byte set to 0xFF
+	ldub [%l0+3], %o4    ! 0xFF
+	srl %o1, 16, %o0     ! 0x1234
+	add %o0, %o2, %o0    ! +0xFE
+	add %o0, %o3, %o0    ! +0xFE
+	add %o0, %o4, %o0    ! +0xFF
+	ta 0
+`
+	want := uint32(0x1234 + 0xFE + 0xFE + 0xFF)
+	if s := run(t, src); s.ExitCode != want {
+		t.Fatalf("exit = %#x, want %#x", s.ExitCode, want)
+	}
+}
+
+// TestAlignmentFault: a misaligned word access is an error.
+func TestAlignmentFault(t *testing.T) {
+	src := `
+	.data 0x40000
+buf:	.word 0
+	.text 0x1000
+start:
+	set buf, %l0
+	ld [%l0+2], %o0
+	ta 0
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	p.Load(m)
+	s := NewState(8, m)
+	s.PC = p.Entry
+	err = s.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Fatalf("want alignment error, got %v", err)
+	}
+}
+
+// TestWindowWraparound: CWP arithmetic wraps modulo NWIN without
+// corrupting other windows' locals.
+func TestWindowWraparound(t *testing.T) {
+	// With 4 windows, four saves return to the start window; locals
+	// written before must be visible again.
+	src := `
+	.text 0x1000
+start:
+	mov 77, %l0
+	save %sp, -96, %sp
+	save %sp, -96, %sp
+	save %sp, -96, %sp
+	restore
+	restore
+	restore
+	mov %l0, %o0
+	ta 0
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	p.Load(m)
+	m.Map(0x7E000, 0x2000)
+	s := NewState(4, m)
+	s.PC = p.Entry
+	s.SetReg(14, 0x7FF00)
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.ExitCode != 77 {
+		t.Fatalf("locals corrupted across balanced save/restore: %d", s.ExitCode)
+	}
+}
+
+// TestWryXorSemantics: WRY xors rs1 with operand 2 per the SPARC manual.
+func TestWryXorSemantics(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	set 0xF0F0, %o1
+	wr %o1, 0x0F0, %y
+	rd %y, %o0           ! 0xF0F0 ^ 0x0F0 = 0xF000+0xF0^... compute below
+	ta 0
+`
+	if s := run(t, src); s.ExitCode != 0xF0F0^0x0F0 {
+		t.Fatalf("y = %#x, want %#x", s.ExitCode, 0xF0F0^0x0F0)
+	}
+}
+
+// TestConditionCodesLogic: logical cc ops clear V and C.
+func TestConditionCodesLogic(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	set 0x80000000, %o1
+	addcc %o1, %o1, %g0  ! sets V and C
+	orcc %g0, 1, %g0     ! logical: clears V and C, clears N and Z
+	bvs bad
+	bcs bad
+	bneg bad
+	be bad
+	mov 1, %o0
+	ta 0
+bad:
+	mov 0, %o0
+	ta 0
+`
+	if s := run(t, src); s.ExitCode != 1 {
+		t.Fatal("logical cc did not clear V/C")
+	}
+}
+
+// TestOutputHelpers: TrapPutUint renders decimals.
+func TestOutputHelpers(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	mov 0, %o0
+	ta 2
+	set 4294967295 - 4294967295, %o0  ! 0
+	mov 42, %o0
+	ta 2
+	ta 0
+`
+	if s := run(t, src); string(s.Output) != "042" {
+		t.Fatalf("output %q", s.Output)
+	}
+}
+
+// TestInstretCountsEverything: nops and branches count toward the
+// sequential instruction count (the IPC numerator).
+func TestInstretCountsEverything(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	nop
+	ba skip
+skip:
+	nop
+	ta 0
+`
+	s := run(t, src)
+	if s.Instret != 4 {
+		t.Fatalf("instret = %d, want 4", s.Instret)
+	}
+}

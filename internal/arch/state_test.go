@@ -1,0 +1,288 @@
+package arch
+
+import (
+	"testing"
+
+	"dtsvliw/internal/asm"
+	"dtsvliw/internal/mem"
+)
+
+// runProgram assembles, loads and runs source sequentially, returning the
+// final state.
+func runProgram(t *testing.T, source string, maxInstrs uint64) *State {
+	t.Helper()
+	p, err := asm.Assemble(source)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.NewMemory()
+	p.Load(m)
+	m.Map(0x7F000, 0x1000) // stack page
+	s := NewState(8, m)
+	s.PC = p.Entry
+	s.SetReg(14, 0x7FFF0) // %sp
+	s.SetTextRange(p.TextBase, p.TextSize)
+	if err := s.Run(maxInstrs); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return s
+}
+
+// TestVectorSumLoop executes the paper's Figure 2 example: summing the
+// elements of a vector.
+func TestVectorSumLoop(t *testing.T) {
+	src := `
+	.data 0x40000
+vec:	.word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+	.text 0x1000
+start:
+	mov 0, %o1          ! sum
+	set vec, %o2
+	mov 0, %o3          ! i*4
+loop:
+	ld [%o2+%o3], %o4
+	add %o1, %o4, %o1
+	add %o3, 4, %o3
+	cmp %o3, 40
+	bl loop
+	mov %o1, %o0
+	ta 0
+`
+	s := runProgram(t, src, 10000)
+	if !s.Halted {
+		t.Fatal("machine did not halt")
+	}
+	if s.ExitCode != 55 {
+		t.Fatalf("sum = %d, want 55", s.ExitCode)
+	}
+}
+
+// TestRegisterWindows checks save/restore in/out overlap across calls.
+func TestRegisterWindows(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	mov 7, %o0
+	call double
+	nop
+	! result returned in %o0
+	ta 0
+double:
+	save %sp, -96, %sp
+	add %i0, %i0, %i0
+	restore %i0, 0, %o0  ! restore also moves result to caller %o0
+	retl
+`
+	s := runProgram(t, src, 1000)
+	if s.ExitCode != 14 {
+		t.Fatalf("double(7) = %d, want 14", s.ExitCode)
+	}
+}
+
+// TestRecursionDepth exercises nested register windows via a recursive
+// factorial built from repeated addition (SPARC V7 has no integer
+// multiply).
+func TestRecursionDepth(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	mov 5, %o0
+	call fact
+	nop
+	ta 0
+fact:
+	save %sp, -96, %sp
+	cmp %i0, 1
+	ble base
+	sub %i0, 1, %o0
+	call fact
+	nop
+	! multiply %o0 (fact(n-1)) by %i0 via repeated addition
+	mov 0, %l0
+	mov %i0, %l1
+mul:
+	add %l0, %o0, %l0
+	subcc %l1, 1, %l1
+	bg mul
+	mov %l0, %i0
+	b done
+base:
+	mov 1, %i0
+done:
+	restore %i0, 0, %o0
+	retl
+`
+	s := runProgram(t, src, 100000)
+	if s.ExitCode != 120 {
+		t.Fatalf("fact(5) = %d, want 120", s.ExitCode)
+	}
+}
+
+// TestMulscc checks the SPARC multiply-step sequence for 32x32 multiply.
+func TestMulscc(t *testing.T) {
+	// Standard V7 multiply routine: multiplier in %o0, multiplicand in %o1.
+	src := `
+	.text 0x1000
+start:
+	mov 123, %o0
+	mov 45, %o1
+	wr %o0, 0, %y
+	andcc %g0, 0, %g0    ! clear N and V, prime icc
+	mulscc %g0, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %o1, %o2
+	mulscc %o2, %g0, %o2 ! final shift step
+	rd %y, %o0
+	ta 0
+`
+	s := runProgram(t, src, 1000)
+	if s.ExitCode != 123*45 {
+		t.Fatalf("mulscc product = %d, want %d", s.ExitCode, 123*45)
+	}
+}
+
+// TestMemorySizes checks byte/half/word/double loads and stores with sign
+// extension.
+func TestMemorySizes(t *testing.T) {
+	src := `
+	.data 0x40000
+buf:	.space 32
+	.text 0x1000
+start:
+	set buf, %l0
+	mov -1, %l1
+	stb %l1, [%l0]       ! 0xFF
+	ldub [%l0], %o1      ! 255
+	ldsb [%l0], %o2      ! -1
+	set 0x8000, %l2
+	sth %l2, [%l0+2]
+	lduh [%l0+2], %o3    ! 0x8000
+	ldsh [%l0+2], %o4    ! -32768
+	add %o1, %o2, %o0    ! 254
+	add %o0, %o3, %o0    ! 254 + 32768
+	add %o0, %o4, %o0    ! 254
+	set 0x12345678, %l3
+	st %l3, [%l0+8]
+	set 0x9abcdef0, %l4
+	st %l4, [%l0+12]
+	ldd [%l0+8], %o2     ! %o2=0x12345678 %o3=0x9abcdef0
+	srl %o2, 16, %o2     ! 0x1234
+	srl %o3, 24, %o3     ! 0x9a
+	add %o0, %o2, %o0
+	add %o0, %o3, %o0
+	ta 0
+`
+	s := runProgram(t, src, 1000)
+	want := uint32(255 - 1 + 0x1234 + 0x9a)
+	if s.ExitCode != want {
+		t.Fatalf("exit = %d, want %d", s.ExitCode, want)
+	}
+}
+
+// TestOutputTraps checks the putchar/putuint OS model.
+func TestOutputTraps(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	mov 72, %o0
+	ta 1
+	mov 105, %o0
+	ta 1
+	mov 33, %o0
+	ta 1
+	mov 4095, %o0
+	ta 2
+	mov 0, %o0
+	ta 0
+`
+	s := runProgram(t, src, 1000)
+	if got := string(s.Output); got != "Hi!4095" {
+		t.Fatalf("output = %q, want %q", got, "Hi!4095")
+	}
+}
+
+// TestFloatingPoint checks single/double arithmetic, conversion and fcc
+// branches.
+func TestFloatingPoint(t *testing.T) {
+	src := `
+	.data 0x40000
+vals:	.word 0x40490fdb   ! 3.14159... float32
+	.space 28
+	.text 0x1000
+start:
+	set vals, %l0
+	ldf [%l0], %f0
+	fadds %f0, %f0, %f1    ! 2*pi
+	fstod %f1, %f2         ! to double
+	faddd %f2, %f2, %f4    ! 4*pi
+	fdtoi %f4, %f6         ! trunc = 12
+	stf %f6, [%l0+4]
+	ld [%l0+4], %o0
+	fcmps %f1, %f0         ! 2pi > pi
+	fbg bigger
+	mov 999, %o0
+bigger:
+	ta 0
+`
+	s := runProgram(t, src, 1000)
+	if s.ExitCode != 12 {
+		t.Fatalf("exit = %d, want 12", s.ExitCode)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	mov 1, %o0
+	ta 0
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewMemory()
+	p.Load(m)
+	s := NewState(8, m)
+	s.PC = p.Entry
+	c := s.Clone()
+	s.SetReg(8, 42)
+	if err := s.Mem.WriteWord(0x1000, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(8) == 42 {
+		t.Fatal("clone shares registers")
+	}
+	if w, _ := c.Mem.ReadWord(0x1000); w == 0xdeadbeef {
+		t.Fatal("clone shares memory")
+	}
+}

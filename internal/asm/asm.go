@@ -1,0 +1,307 @@
+// Package asm implements a two-pass assembler for the SPARC V7 subset in
+// package isa, plus the program image the simulators load. It stands in
+// for the paper's gcc toolchain: every workload in internal/workloads is
+// written in this assembly dialect.
+//
+// Dialect summary:
+//
+//	! comment                     (also ; and # start comments)
+//	.text [addr]   .data [addr]   .org addr
+//	.word e, e ...  .half ...  .byte ...  .ascii "s"  .asciz "s"
+//	.space n       .align n
+//	label:
+//	add %r1, %r2, %r3      add %o0, -4, %o1
+//	ld [%l0+4], %o2        st %o2, [%l0+%l1]
+//	sethi %hi(sym), %g1    or %g1, %lo(sym), %g1
+//	ba loop   bne,a done   call func   jmpl %o7+8, %g0
+//	save %sp, -96, %sp     restore
+//	ta 0
+//
+// Pseudo-instructions: nop, mov, set, cmp, tst, clr, ret, retl, inc, dec,
+// neg, not, b (alias of ba), jmp.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dtsvliw/internal/isa"
+	"dtsvliw/internal/mem"
+)
+
+// Section is a contiguous byte range of the assembled image.
+type Section struct {
+	Addr  uint32
+	Bytes []byte
+}
+
+// Program is an assembled image ready to load.
+type Program struct {
+	Sections []Section
+	Entry    uint32
+	Symbols  map[string]uint32
+	TextBase uint32
+	TextSize uint32
+}
+
+// Load copies the program into memory and returns nothing; pages are
+// mapped as needed.
+func (p *Program) Load(m *mem.Memory) {
+	for _, s := range p.Sections {
+		m.LoadBytes(s.Addr, s.Bytes)
+	}
+}
+
+// Error is an assembly error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type assembler struct {
+	lines   []string
+	symbols map[string]uint32
+	// emitted image per section name
+	sections map[string]*secState
+	cur      *secState
+	pass     int
+	entry    uint32
+	hasEntry bool
+	textBase uint32
+	textEnd  uint32
+}
+
+type secState struct {
+	name  string
+	base  uint32
+	pc    uint32
+	bytes []byte
+}
+
+// Assemble assembles source into a Program. The default text origin is
+// 0x1000 and the default data origin is 0x40000; both can be overridden
+// with .text/.data arguments. Entry defaults to the "start" or "main"
+// symbol, else the text base.
+func Assemble(source string) (*Program, error) {
+	a := &assembler{
+		lines:    strings.Split(source, "\n"),
+		symbols:  make(map[string]uint32),
+		sections: make(map[string]*secState),
+	}
+	a.sections["text"] = &secState{name: "text", base: 0x1000, pc: 0x1000}
+	a.sections["data"] = &secState{name: "data", base: 0x40000, pc: 0x40000}
+
+	for pass := 1; pass <= 2; pass++ {
+		a.pass = pass
+		for _, s := range a.sections {
+			s.pc = s.base
+			s.bytes = s.bytes[:0]
+		}
+		a.cur = a.sections["text"]
+		for i, line := range a.lines {
+			if err := a.doLine(i+1, line); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	p := &Program{Symbols: a.symbols}
+	for _, name := range []string{"text", "data"} {
+		s := a.sections[name]
+		if len(s.bytes) > 0 {
+			p.Sections = append(p.Sections, Section{Addr: s.base, Bytes: append([]byte(nil), s.bytes...)})
+		}
+	}
+	text := a.sections["text"]
+	p.TextBase = text.base
+	p.TextSize = uint32(len(text.bytes))
+	p.Entry = text.base
+	if v, ok := a.symbols["start"]; ok {
+		p.Entry = v
+	} else if v, ok := a.symbols["main"]; ok {
+		p.Entry = v
+	}
+	return p, nil
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '"' {
+			inStr = !inStr
+		}
+		if !inStr && (c == '!' || c == ';' || c == '#') {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func (a *assembler) errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) doLine(lineNo int, raw string) error {
+	line := strings.TrimSpace(stripComment(raw))
+	if line == "" {
+		return nil
+	}
+	// Labels (possibly several) at line start.
+	for {
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			break
+		}
+		head := strings.TrimSpace(line[:i])
+		if head == "" || strings.ContainsAny(head, " \t\"[],") {
+			break
+		}
+		if a.pass == 1 {
+			if _, dup := a.symbols[head]; dup {
+				return a.errf(lineNo, "duplicate label %q", head)
+			}
+		}
+		a.symbols[head] = a.cur.pc
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+
+	fields := strings.SplitN(line, " ", 2)
+	mn := strings.ToLower(strings.TrimSpace(fields[0]))
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	// Tab-separated mnemonics.
+	if i := strings.IndexByte(mn, '\t'); i >= 0 {
+		rest = strings.TrimSpace(mn[i+1:] + " " + rest)
+		mn = mn[:i]
+	}
+
+	if strings.HasPrefix(mn, ".") {
+		return a.directive(lineNo, mn, rest)
+	}
+	return a.instruction(lineNo, mn, rest)
+}
+
+func (a *assembler) directive(lineNo int, mn, rest string) error {
+	switch mn {
+	case ".text", ".data":
+		name := mn[1:]
+		s := a.sections[name]
+		if rest != "" {
+			v, err := a.eval(lineNo, rest)
+			if err != nil {
+				return err
+			}
+			if len(s.bytes) == 0 {
+				s.base, s.pc = v, v
+			}
+		}
+		a.cur = s
+		return nil
+	case ".org":
+		v, err := a.eval(lineNo, rest)
+		if err != nil {
+			return err
+		}
+		if v < a.cur.pc {
+			return a.errf(lineNo, ".org %#x before current pc %#x", v, a.cur.pc)
+		}
+		a.emitBytes(make([]byte, v-a.cur.pc))
+		return nil
+	case ".align":
+		n, err := a.eval(lineNo, rest)
+		if err != nil {
+			return err
+		}
+		if n == 0 || n&(n-1) != 0 {
+			return a.errf(lineNo, ".align %d not a power of two", n)
+		}
+		pad := (n - a.cur.pc%n) % n
+		a.emitBytes(make([]byte, pad))
+		return nil
+	case ".word", ".half", ".byte":
+		size := map[string]uint8{".word": 4, ".half": 2, ".byte": 1}[mn]
+		for _, part := range splitOperands(rest) {
+			v, err := a.eval(lineNo, part)
+			if err != nil {
+				return err
+			}
+			b := make([]byte, size)
+			for i := uint8(0); i < size; i++ {
+				b[i] = byte(v >> (8 * uint32(size-1-i)))
+			}
+			a.emitBytes(b)
+		}
+		return nil
+	case ".ascii", ".asciz":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf(lineNo, "bad string %s", rest)
+		}
+		a.emitBytes([]byte(s))
+		if mn == ".asciz" {
+			a.emitBytes([]byte{0})
+		}
+		return nil
+	case ".space", ".skip":
+		n, err := a.eval(lineNo, rest)
+		if err != nil {
+			return err
+		}
+		a.emitBytes(make([]byte, n))
+		return nil
+	case ".global", ".globl", ".type", ".size":
+		return nil // accepted, ignored
+	}
+	return a.errf(lineNo, "unknown directive %s", mn)
+}
+
+func (a *assembler) emitBytes(b []byte) {
+	a.cur.bytes = append(a.cur.bytes, b...)
+	a.cur.pc += uint32(len(b))
+}
+
+func (a *assembler) emit(lineNo int, in isa.Inst) error {
+	w, err := isa.Encode(in)
+	if err != nil {
+		return a.errf(lineNo, "%v", err)
+	}
+	a.emitBytes([]byte{byte(w >> 24), byte(w >> 16), byte(w >> 8), byte(w)})
+	return nil
+}
+
+// splitOperands splits on commas that are not inside brackets or quotes.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '[', '(':
+			depth++
+		case ']', ')':
+			depth--
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}

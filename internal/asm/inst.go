@@ -1,0 +1,694 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dtsvliw/internal/isa"
+)
+
+// parseReg parses an integer register name: %g0-7, %o0-7, %l0-7, %i0-7,
+// %r0-31, %sp, %fp.
+func parseReg(s string) (uint8, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "%sp":
+		return 14, true // %o6
+	case "%fp":
+		return 30, true // %i6
+	}
+	if len(s) < 3 || s[0] != '%' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[2:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	switch s[1] {
+	case 'g':
+		if n < 8 {
+			return uint8(n), true
+		}
+	case 'o':
+		if n < 8 {
+			return uint8(n + 8), true
+		}
+	case 'l':
+		if n < 8 {
+			return uint8(n + 16), true
+		}
+	case 'i':
+		if n < 8 {
+			return uint8(n + 24), true
+		}
+	case 'r':
+		if n < 32 {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+func parseFReg(s string) (uint8, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 3 || !strings.HasPrefix(s, "%f") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[2:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, false
+	}
+	return uint8(n), true
+}
+
+// eval evaluates a constant expression: sums/differences of numbers,
+// labels, %hi(x) and %lo(x).
+func (a *assembler) eval(lineNo int, expr string) (uint32, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, a.errf(lineNo, "empty expression")
+	}
+	var total uint32
+	sign := uint32(1)
+	i := 0
+	expectTerm := true
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '+' && !expectTerm:
+			sign = 1
+			expectTerm = true
+			i++
+		case c == '-' && !expectTerm:
+			sign = ^uint32(0) // -1
+			expectTerm = true
+			i++
+		default:
+			j := i
+			if expr[j] == '-' || expr[j] == '+' {
+				j++
+			}
+			for j < len(expr) && expr[j] != '+' && expr[j] != '-' && expr[j] != ' ' {
+				j++
+			}
+			// Allow %hi( / %lo( containing parens.
+			if strings.HasPrefix(strings.ToLower(expr[i:]), "%hi(") ||
+				strings.HasPrefix(strings.ToLower(expr[i:]), "%lo(") {
+				depth := 0
+				j = i
+				for j < len(expr) {
+					if expr[j] == '(' {
+						depth++
+					} else if expr[j] == ')' {
+						depth--
+						if depth == 0 {
+							j++
+							break
+						}
+					}
+					j++
+				}
+			}
+			v, err := a.term(lineNo, expr[i:j])
+			if err != nil {
+				return 0, err
+			}
+			total += sign * v
+			sign = 1
+			expectTerm = false
+			i = j
+		}
+	}
+	return total, nil
+}
+
+func (a *assembler) term(lineNo int, t string) (uint32, error) {
+	t = strings.TrimSpace(t)
+	lt := strings.ToLower(t)
+	switch {
+	case strings.HasPrefix(lt, "%hi(") && strings.HasSuffix(t, ")"):
+		v, err := a.eval(lineNo, t[4:len(t)-1])
+		if err != nil {
+			return 0, err
+		}
+		return v >> 10, nil
+	case strings.HasPrefix(lt, "%lo(") && strings.HasSuffix(t, ")"):
+		v, err := a.eval(lineNo, t[4:len(t)-1])
+		if err != nil {
+			return 0, err
+		}
+		return v & 0x3FF, nil
+	case t == ".":
+		return a.cur.pc, nil
+	}
+	if n, err := strconv.ParseInt(t, 0, 64); err == nil {
+		return uint32(n), nil
+	}
+	if n, err := strconv.ParseUint(t, 0, 64); err == nil {
+		return uint32(n), nil
+	}
+	if v, ok := a.symbols[t]; ok {
+		return v, nil
+	}
+	if a.pass == 1 {
+		return 0, nil // forward reference; resolved in pass 2
+	}
+	return 0, a.errf(lineNo, "undefined symbol %q", t)
+}
+
+// regOrImm parses operand 2 of a format-3 instruction.
+func (a *assembler) regOrImm(lineNo int, s string, in *isa.Inst) error {
+	if r, ok := parseReg(s); ok {
+		in.Rs2 = r
+		return nil
+	}
+	v, err := a.eval(lineNo, s)
+	if err != nil {
+		return err
+	}
+	iv := int32(v)
+	if iv < -4096 || iv > 4095 {
+		return a.errf(lineNo, "immediate %d out of simm13 range", iv)
+	}
+	in.UseImm = true
+	in.Imm = iv
+	return nil
+}
+
+// parseMem parses a memory operand "[reg]", "[reg+imm]", "[reg-imm]",
+// "[reg+reg]" or "[imm]".
+func (a *assembler) parseMem(lineNo int, s string, in *isa.Inst) error {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return a.errf(lineNo, "expected memory operand, got %q", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	// Try reg+reg / reg+imm / reg-imm.
+	if r1, rest, ok := leadingReg(body); ok {
+		in.Rs1 = r1
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			in.UseImm = true
+			in.Imm = 0
+			return nil
+		}
+		if rest[0] == '+' {
+			if r2, ok := parseReg(rest[1:]); ok {
+				in.Rs2 = r2
+				return nil
+			}
+			return a.regOrImm(lineNo, rest[1:], in)
+		}
+		if rest[0] == '-' {
+			return a.regOrImm(lineNo, rest, in)
+		}
+		return a.errf(lineNo, "bad memory operand %q", s)
+	}
+	// Absolute: [imm] with %g0 base.
+	in.Rs1 = 0
+	return a.regOrImm(lineNo, body, in)
+}
+
+func leadingReg(s string) (uint8, string, bool) {
+	s = strings.TrimSpace(s)
+	end := len(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' || s[i] == ' ' {
+			end = i
+			break
+		}
+	}
+	r, ok := parseReg(s[:end])
+	if !ok {
+		return 0, s, false
+	}
+	return r, s[end:], true
+}
+
+var aluOps = map[string]isa.Op{
+	"add": isa.OpADD, "addcc": isa.OpADDCC, "addx": isa.OpADDX, "addxcc": isa.OpADDXCC,
+	"sub": isa.OpSUB, "subcc": isa.OpSUBCC, "subx": isa.OpSUBX, "subxcc": isa.OpSUBXCC,
+	"and": isa.OpAND, "andcc": isa.OpANDCC, "andn": isa.OpANDN, "andncc": isa.OpANDNCC,
+	"or": isa.OpOR, "orcc": isa.OpORCC, "orn": isa.OpORN, "orncc": isa.OpORNCC,
+	"xor": isa.OpXOR, "xorcc": isa.OpXORCC, "xnor": isa.OpXNOR, "xnorcc": isa.OpXNORCC,
+	"sll": isa.OpSLL, "srl": isa.OpSRL, "sra": isa.OpSRA,
+	"mulscc": isa.OpMULSCC, "save": isa.OpSAVE, "restore": isa.OpRESTORE,
+	"jmpl": isa.OpJMPL,
+}
+
+var loadOps = map[string]isa.Op{
+	"ld": isa.OpLD, "ldub": isa.OpLDUB, "ldsb": isa.OpLDSB,
+	"lduh": isa.OpLDUH, "ldsh": isa.OpLDSH, "ldd": isa.OpLDD,
+	"ldstub": isa.OpLDSTUB, "swap": isa.OpSWAP,
+}
+
+var storeOps = map[string]isa.Op{
+	"st": isa.OpST, "stb": isa.OpSTB, "sth": isa.OpSTH, "std": isa.OpSTD,
+}
+
+var fpOps3 = map[string]isa.Op{
+	"fadds": isa.OpFADDS, "faddd": isa.OpFADDD, "fsubs": isa.OpFSUBS, "fsubd": isa.OpFSUBD,
+	"fmuls": isa.OpFMULS, "fmuld": isa.OpFMULD, "fdivs": isa.OpFDIVS, "fdivd": isa.OpFDIVD,
+}
+
+var fpOps2 = map[string]isa.Op{
+	"fmovs": isa.OpFMOVS, "fnegs": isa.OpFNEGS, "fabss": isa.OpFABSS,
+	"fitos": isa.OpFITOS, "fitod": isa.OpFITOD, "fstoi": isa.OpFSTOI,
+	"fdtoi": isa.OpFDTOI, "fstod": isa.OpFSTOD, "fdtos": isa.OpFDTOS,
+}
+
+var branchConds = map[string]uint8{
+	"n": isa.CondN, "e": isa.CondE, "z": isa.CondE, "le": isa.CondLE, "l": isa.CondL,
+	"leu": isa.CondLEU, "cs": isa.CondCS, "lu": isa.CondCS, "neg": isa.CondNEG,
+	"vs": isa.CondVS, "a": isa.CondA, "ne": isa.CondNE, "nz": isa.CondNE,
+	"g": isa.CondG, "ge": isa.CondGE, "gu": isa.CondGU, "cc": isa.CondCC,
+	"geu": isa.CondCC, "pos": isa.CondPOS, "vc": isa.CondVC,
+}
+
+var fbranchConds = map[string]uint8{
+	"n": 0, "ne": 1, "lg": 2, "ul": 3, "l": 4, "ug": 5, "g": 6, "u": 7,
+	"a": 8, "e": 9, "ue": 10, "ge": 11, "uge": 12, "le": 13, "ule": 14, "o": 15,
+}
+
+func (a *assembler) instruction(lineNo int, mn, rest string) error {
+	ops := splitOperands(rest)
+	nOps := len(ops)
+
+	need := func(n int) error {
+		if nOps != n {
+			return a.errf(lineNo, "%s: want %d operands, got %d (%q)", mn, n, nOps, rest)
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch mn {
+	case "nop":
+		return a.emit(lineNo, isa.Inst{Op: isa.OpSETHI, Rd: 0, Imm: 0})
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(lineNo, "mov: bad destination %q", ops[1])
+		}
+		in := isa.Inst{Op: isa.OpOR, Rs1: 0, Rd: rd}
+		if err := a.regOrImm(lineNo, ops[0], &in); err != nil {
+			return err
+		}
+		return a.emit(lineNo, in)
+	case "set":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(lineNo, "set: bad destination %q", ops[1])
+		}
+		v, err := a.eval(lineNo, ops[0])
+		if err != nil {
+			return err
+		}
+		if err := a.emit(lineNo, isa.Inst{Op: isa.OpSETHI, Rd: rd, Imm: int32(v >> 10)}); err != nil {
+			return err
+		}
+		return a.emit(lineNo, isa.Inst{Op: isa.OpOR, Rs1: rd, Rd: rd, UseImm: true, Imm: int32(v & 0x3FF)})
+	case "cmp":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs1, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(lineNo, "cmp: bad register %q", ops[0])
+		}
+		in := isa.Inst{Op: isa.OpSUBCC, Rs1: rs1, Rd: 0}
+		if err := a.regOrImm(lineNo, ops[1], &in); err != nil {
+			return err
+		}
+		return a.emit(lineNo, in)
+	case "tst":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs1, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(lineNo, "tst: bad register %q", ops[0])
+		}
+		return a.emit(lineNo, isa.Inst{Op: isa.OpORCC, Rs1: rs1, Rs2: 0, Rd: 0})
+	case "clr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(lineNo, "clr: bad register %q", ops[0])
+		}
+		return a.emit(lineNo, isa.Inst{Op: isa.OpOR, Rs1: 0, Rs2: 0, Rd: rd})
+	case "inc", "dec":
+		op := isa.OpADD
+		if mn == "dec" {
+			op = isa.OpSUB
+		}
+		amt := int32(1)
+		var rd uint8
+		var ok bool
+		switch nOps {
+		case 1:
+			rd, ok = parseReg(ops[0])
+		case 2:
+			v, err := a.eval(lineNo, ops[0])
+			if err != nil {
+				return err
+			}
+			amt = int32(v)
+			rd, ok = parseReg(ops[1])
+		default:
+			return need(1)
+		}
+		if !ok {
+			return a.errf(lineNo, "%s: bad register", mn)
+		}
+		return a.emit(lineNo, isa.Inst{Op: op, Rs1: rd, Rd: rd, UseImm: true, Imm: amt})
+	case "neg":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(lineNo, "neg: bad register")
+		}
+		return a.emit(lineNo, isa.Inst{Op: isa.OpSUB, Rs1: 0, Rs2: rd, Rd: rd})
+	case "not":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(lineNo, "not: bad register")
+		}
+		return a.emit(lineNo, isa.Inst{Op: isa.OpXNOR, Rs1: rd, Rs2: 0, Rd: rd})
+	case "ret":
+		return a.emit(lineNo, isa.Inst{Op: isa.OpJMPL, Rs1: 31, UseImm: true, Imm: 8, Rd: 0})
+	case "retl":
+		return a.emit(lineNo, isa.Inst{Op: isa.OpJMPL, Rs1: 15, UseImm: true, Imm: 8, Rd: 0})
+	case "jmp":
+		if err := need(1); err != nil {
+			return err
+		}
+		in := isa.Inst{Op: isa.OpJMPL, Rd: 0}
+		if r1, rest2, ok := leadingReg(ops[0]); ok {
+			in.Rs1 = r1
+			rest2 = strings.TrimSpace(rest2)
+			if rest2 == "" {
+				in.UseImm, in.Imm = true, 0
+			} else if rest2[0] == '+' {
+				if err := a.regOrImm(lineNo, rest2[1:], &in); err != nil {
+					return err
+				}
+			} else {
+				return a.errf(lineNo, "jmp: bad operand %q", ops[0])
+			}
+			return a.emit(lineNo, in)
+		}
+		return a.errf(lineNo, "jmp: bad operand %q", ops[0])
+	case "rd":
+		if err := need(2); err != nil {
+			return err
+		}
+		if strings.ToLower(strings.TrimSpace(ops[0])) != "%y" {
+			return a.errf(lineNo, "rd: only %%y supported")
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(lineNo, "rd: bad destination")
+		}
+		return a.emit(lineNo, isa.Inst{Op: isa.OpRDY, Rd: rd})
+	case "wr":
+		// wr rs1, reg_or_imm, %y
+		if err := need(3); err != nil {
+			return err
+		}
+		if strings.ToLower(strings.TrimSpace(ops[2])) != "%y" {
+			return a.errf(lineNo, "wr: only %%y supported")
+		}
+		rs1, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(lineNo, "wr: bad source")
+		}
+		in := isa.Inst{Op: isa.OpWRY, Rs1: rs1}
+		if err := a.regOrImm(lineNo, ops[1], &in); err != nil {
+			return err
+		}
+		return a.emit(lineNo, in)
+	case "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := a.eval(lineNo, ops[0])
+		if err != nil {
+			return err
+		}
+		disp := int32(v-a.cur.pc) / 4
+		return a.emit(lineNo, isa.Inst{Op: isa.OpCALL, Imm: disp})
+	case "unimp":
+		return a.emit(lineNo, isa.Inst{Op: isa.OpUNIMP})
+	}
+
+	// Conditional traps: ta, te, tne, ...
+	if strings.HasPrefix(mn, "t") {
+		if cond, ok := branchConds[mn[1:]]; ok && mn != "tst" {
+			if err := need(1); err != nil {
+				return err
+			}
+			in := isa.Inst{Op: isa.OpTICC, Cond: cond}
+			if err := a.regOrImm(lineNo, ops[0], &in); err != nil {
+				return err
+			}
+			return a.emit(lineNo, in)
+		}
+	}
+
+	// Branches: b<cond>[,a] and fb<cond>[,a]. "b" alone is ba.
+	base := mn
+	annul := false
+	if strings.HasSuffix(base, ",a") {
+		annul = true
+		base = base[:len(base)-2]
+	}
+	if base == "b" {
+		base = "ba"
+	}
+	if strings.HasPrefix(base, "fb") {
+		if cond, ok := fbranchConds[base[2:]]; ok {
+			if err := need(1); err != nil {
+				return err
+			}
+			v, err := a.eval(lineNo, ops[0])
+			if err != nil {
+				return err
+			}
+			disp := int32(v-a.cur.pc) / 4
+			return a.emit(lineNo, isa.Inst{Op: isa.OpFBFCC, Cond: cond, Annul: annul, Imm: disp})
+		}
+	}
+	if strings.HasPrefix(base, "b") {
+		if cond, ok := branchConds[base[1:]]; ok {
+			if err := need(1); err != nil {
+				return err
+			}
+			v, err := a.eval(lineNo, ops[0])
+			if err != nil {
+				return err
+			}
+			disp := int32(v-a.cur.pc) / 4
+			return a.emit(lineNo, isa.Inst{Op: isa.OpBICC, Cond: cond, Annul: annul, Imm: disp})
+		}
+	}
+
+	// sethi %hi(x), rd.
+	if mn == "sethi" {
+		if err := need(2); err != nil {
+			return err
+		}
+		v, err := a.eval(lineNo, ops[0])
+		if err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(lineNo, "sethi: bad destination %q", ops[1])
+		}
+		return a.emit(lineNo, isa.Inst{Op: isa.OpSETHI, Rd: rd, Imm: int32(v & 0x3FFFFF)})
+	}
+
+	// Loads.
+	if op, ok := loadOps[mn]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		in := isa.Inst{Op: op}
+		if err := a.parseMem(lineNo, ops[0], &in); err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(lineNo, "%s: bad destination %q", mn, ops[1])
+		}
+		in.Rd = rd
+		return a.emit(lineNo, in)
+	}
+	// Stores.
+	if op, ok := storeOps[mn]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(lineNo, "%s: bad source %q", mn, ops[0])
+		}
+		in := isa.Inst{Op: op, Rd: rd}
+		if err := a.parseMem(lineNo, ops[1], &in); err != nil {
+			return err
+		}
+		return a.emit(lineNo, in)
+	}
+	// FP memory.
+	switch mn {
+	case "ldf", "lddf":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := isa.OpLDF
+		if mn == "lddf" {
+			op = isa.OpLDDF
+		}
+		in := isa.Inst{Op: op}
+		if err := a.parseMem(lineNo, ops[0], &in); err != nil {
+			return err
+		}
+		fr, ok := parseFReg(ops[1])
+		if !ok {
+			return a.errf(lineNo, "%s: bad fp destination %q", mn, ops[1])
+		}
+		in.Rd = fr
+		return a.emit(lineNo, in)
+	case "stf", "stdf":
+		if err := need(2); err != nil {
+			return err
+		}
+		op := isa.OpSTF
+		if mn == "stdf" {
+			op = isa.OpSTDF
+		}
+		fr, ok := parseFReg(ops[0])
+		if !ok {
+			return a.errf(lineNo, "%s: bad fp source %q", mn, ops[0])
+		}
+		in := isa.Inst{Op: op, Rd: fr}
+		if err := a.parseMem(lineNo, ops[1], &in); err != nil {
+			return err
+		}
+		return a.emit(lineNo, in)
+	}
+	// FP three-operand.
+	if op, ok := fpOps3[mn]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		r1, ok1 := parseFReg(ops[0])
+		r2, ok2 := parseFReg(ops[1])
+		rd, ok3 := parseFReg(ops[2])
+		if !ok1 || !ok2 || !ok3 {
+			return a.errf(lineNo, "%s: bad fp operands", mn)
+		}
+		return a.emit(lineNo, isa.Inst{Op: op, Rs1: r1, Rs2: r2, Rd: rd})
+	}
+	// FP two-operand.
+	if op, ok := fpOps2[mn]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		r2, ok1 := parseFReg(ops[0])
+		rd, ok2 := parseFReg(ops[1])
+		if !ok1 || !ok2 {
+			return a.errf(lineNo, "%s: bad fp operands", mn)
+		}
+		return a.emit(lineNo, isa.Inst{Op: op, Rs2: r2, Rd: rd})
+	}
+	// FP compare.
+	if mn == "fcmps" || mn == "fcmpd" {
+		if err := need(2); err != nil {
+			return err
+		}
+		op := isa.OpFCMPS
+		if mn == "fcmpd" {
+			op = isa.OpFCMPD
+		}
+		r1, ok1 := parseFReg(ops[0])
+		r2, ok2 := parseFReg(ops[1])
+		if !ok1 || !ok2 {
+			return a.errf(lineNo, "%s: bad fp operands", mn)
+		}
+		return a.emit(lineNo, isa.Inst{Op: op, Rs1: r1, Rs2: r2})
+	}
+
+	// Generic three-operand ALU (plus save/restore/jmpl).
+	if op, ok := aluOps[mn]; ok {
+		switch {
+		case nOps == 0 && (mn == "restore" || mn == "save"):
+			return a.emit(lineNo, isa.Inst{Op: op, Rs1: 0, Rs2: 0, Rd: 0})
+		case nOps == 3:
+			rs1, ok1 := parseReg(ops[0])
+			rd, ok3 := parseReg(ops[2])
+			if !ok1 || !ok3 {
+				return a.errf(lineNo, "%s: bad register operands (%q)", mn, rest)
+			}
+			in := isa.Inst{Op: op, Rs1: rs1, Rd: rd}
+			if err := a.regOrImm(lineNo, ops[1], &in); err != nil {
+				return err
+			}
+			return a.emit(lineNo, in)
+		case nOps == 2 && mn == "jmpl":
+			// jmpl %r+imm, rd
+			in := isa.Inst{Op: isa.OpJMPL}
+			r1, rest2, ok := leadingReg(ops[0])
+			if !ok {
+				return a.errf(lineNo, "jmpl: bad operand %q", ops[0])
+			}
+			in.Rs1 = r1
+			rest2 = strings.TrimSpace(rest2)
+			if rest2 == "" {
+				in.UseImm, in.Imm = true, 0
+			} else if rest2[0] == '+' {
+				if err := a.regOrImm(lineNo, rest2[1:], &in); err != nil {
+					return err
+				}
+			} else if err := a.regOrImm(lineNo, rest2, &in); err != nil {
+				return err
+			}
+			rd, ok := parseReg(ops[1])
+			if !ok {
+				return a.errf(lineNo, "jmpl: bad destination %q", ops[1])
+			}
+			in.Rd = rd
+			return a.emit(lineNo, in)
+		}
+		return a.errf(lineNo, "%s: bad operand count %d", mn, nOps)
+	}
+
+	return a.errf(lineNo, "unknown instruction %q", mn)
+}
+
+// MustAssemble assembles source or panics; for tests and embedded
+// workloads whose sources are compile-time constants.
+func MustAssemble(source string) *Program {
+	p, err := Assemble(source)
+	if err != nil {
+		panic(fmt.Sprintf("MustAssemble: %v", err))
+	}
+	return p
+}

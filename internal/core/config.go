@@ -1,0 +1,148 @@
+// Package core integrates the DTSVLIW machine (paper §3, Figure 1): the
+// Primary Processor and Scheduler Unit (the Scheduler Engine), the VLIW
+// Cache and the VLIW Engine, the Fetch Unit's engine-switching policy, the
+// memory hierarchy, exception handling, and the lockstep test mode used by
+// the paper's experimental methodology (§4).
+package core
+
+import (
+	"fmt"
+
+	"dtsvliw/internal/isa"
+	"dtsvliw/internal/mem"
+	"dtsvliw/internal/primary"
+	"dtsvliw/internal/vcache"
+	"dtsvliw/internal/vliw"
+)
+
+// Config parameterises a DTSVLIW machine. Table 1 invariants have
+// defaults in IdealConfig/FeasibleConfig.
+type Config struct {
+	// Block geometry: Width instructions per long instruction, Height
+	// long instructions per block.
+	Width, Height int
+	// FUs assigns a functional-unit class per slot; nil = homogeneous
+	// (any instruction in any slot, the paper's geometry studies).
+	FUs []isa.FUClass
+
+	NWin int // register windows
+
+	ICache mem.CacheConfig
+	DCache mem.CacheConfig
+
+	VCacheKB    int
+	VCacheAssoc int
+	// DecodedBytes is the size of one decoded instruction in the VLIW
+	// Cache (Table 1: 6 bytes); NBABytes sizes the nba store.
+	DecodedBytes int
+	NBABytes     int
+
+	// NextLIMissPenalty is charged on every block-to-block transition in
+	// the VLIW Engine (0 in the ideal studies, 1 in the feasible machine).
+	NextLIMissPenalty int
+
+	// Engine-switch costs: discarded plus refilled pipeline stages
+	// (paper §3.6).
+	SwitchToVLIW    int
+	SwitchToPrimary int
+
+	Pipeline primary.Config
+
+	// StoreScheme selects the VLIW Engine's store-recoverability
+	// mechanism: the evaluated checkpoint scheme or the paper's §3.11
+	// data-store-list alternative.
+	StoreScheme vliw.StoreScheme
+
+	// ExitPrediction enables next-long-instruction prediction (paper §5
+	// future work): a last-target predictor keyed by the deviating
+	// branch hides the one-cycle trace-exit bubble on a correct
+	// prediction.
+	ExitPrediction bool
+
+	// NoSourceForwarding disables consumer rewriting to renaming
+	// registers in the Scheduler Unit (ablation; see DESIGN.md §5a).
+	NoSourceForwarding bool
+
+	// LoadLatency/FPLatency/FPDivLatency enable the multicycle-
+	// instruction extension (the paper's companion study [14]); zero or
+	// one keeps the Table 1 single-cycle baseline.
+	LoadLatency  int
+	FPLatency    int
+	FPDivLatency int
+
+	// TestMode runs the sequential test machine in lockstep and compares
+	// architectural state at every synchronisation point (paper §4).
+	TestMode bool
+
+	// MaxInstrs stops the simulation after this many sequential
+	// instructions (0 = run until the program halts). MaxCycles is a
+	// safety limit.
+	MaxInstrs uint64
+	MaxCycles uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("core: block geometry %dx%d invalid", c.Width, c.Height)
+	}
+	if c.NWin < 2 {
+		return fmt.Errorf("core: nwin %d invalid", c.NWin)
+	}
+	if c.VCacheKB <= 0 || c.VCacheAssoc <= 0 {
+		return fmt.Errorf("core: VLIW cache %dKB/%d-way invalid", c.VCacheKB, c.VCacheAssoc)
+	}
+	if c.FUs != nil && len(c.FUs) != c.Width {
+		return fmt.Errorf("core: %d FU classes for width %d", len(c.FUs), c.Width)
+	}
+	return nil
+}
+
+// VCacheConfig derives the VLIW Cache configuration.
+func (c Config) VCacheConfig() vcache.Config {
+	return vcache.Config{
+		SizeKB: c.VCacheKB, Assoc: c.VCacheAssoc,
+		Width: c.Width, Height: c.Height,
+		DecodedBytes: c.DecodedBytes, NBABytes: c.NBABytes,
+	}
+}
+
+// IdealConfig returns the configuration of the paper's architecture
+// studies (§4.1–§4.3): perfect instruction and data caches, a large
+// (3072-KB) 4-way VLIW Cache, no next-long-instruction miss penalty,
+// homogeneous functional units, and Table 1 pipeline costs.
+func IdealConfig(width, height int) Config {
+	return Config{
+		Width: width, Height: height,
+		NWin:         16,
+		ICache:       mem.CacheConfig{Perfect: true},
+		DCache:       mem.CacheConfig{Perfect: true},
+		VCacheKB:     3072,
+		VCacheAssoc:  4,
+		DecodedBytes: 6,
+		NBABytes:     5,
+		SwitchToVLIW: 2, SwitchToPrimary: 3,
+		Pipeline:  primary.DefaultConfig(),
+		MaxCycles: 1 << 62,
+	}
+}
+
+// FeasibleConfig returns the paper's §4.4 feasible machine: 32-KB 4-way
+// Instruction Cache and 32-KB direct-mapped Data Cache (1-cycle access,
+// 8-cycle miss), a 192-KB 4-way VLIW Cache, 1-cycle next-long-instruction
+// miss penalty, and ten non-homogeneous functional units (4 integer, 2
+// load/store, 2 floating-point, 2 branch), all with 1-cycle latency.
+func FeasibleConfig() Config {
+	cfg := IdealConfig(10, 8)
+	cfg.FUs = []isa.FUClass{
+		isa.FUInt, isa.FUInt, isa.FUInt, isa.FUInt,
+		isa.FULoadStore, isa.FULoadStore,
+		isa.FUFloat, isa.FUFloat,
+		isa.FUBranch, isa.FUBranch,
+	}
+	cfg.ICache = mem.CacheConfig{SizeBytes: 32 * 1024, LineBytes: 32, Assoc: 4, MissPenalty: 8}
+	cfg.DCache = mem.CacheConfig{SizeBytes: 32 * 1024, LineBytes: 32, Assoc: 1, MissPenalty: 8}
+	cfg.VCacheKB = 192
+	cfg.NextLIMissPenalty = 1
+	return cfg
+}

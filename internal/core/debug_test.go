@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestDebugMulLoop is a focused reproduction harness for trace-exit
+// commit accounting: a small counted loop executed twice so the second
+// pass runs from the VLIW Cache and exits the trace at the final
+// iteration.
+func TestDebugMulLoop(t *testing.T) {
+	src := `
+	.text 0x1000
+start:
+	mov 0, %g5          ! outer counter
+outer:
+	mov 0, %l0
+	mov 3, %l1
+	mov 2, %o0
+mul:
+	add %l0, %o0, %l0
+	subcc %l1, 1, %l1
+	bg mul
+	add %g5, 1, %g5
+	cmp %g5, 6
+	bl outer
+	mov %l0, %o0
+	ta 0
+`
+	m := runDTSVLIW(t, src, IdealConfig(4, 4))
+	if m.St.ExitCode != 6 {
+		t.Fatalf("exit = %d, want 6", m.St.ExitCode)
+	}
+}

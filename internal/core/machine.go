@@ -1,0 +1,468 @@
+package core
+
+import (
+	"fmt"
+
+	"dtsvliw/internal/arch"
+	"dtsvliw/internal/mem"
+	"dtsvliw/internal/primary"
+	"dtsvliw/internal/sched"
+	"dtsvliw/internal/vcache"
+	"dtsvliw/internal/vliw"
+)
+
+// Mode identifies which execution engine currently owns the machine
+// (paper §3.6: they never operate at the same time).
+type Mode uint8
+
+// Execution engines.
+const (
+	ModePrimary Mode = iota
+	ModeVLIW
+)
+
+// Machine is a complete DTSVLIW processor.
+type Machine struct {
+	cfg Config
+
+	// St is the architectural state shared by the Primary Processor and
+	// the VLIW Engine.
+	St *arch.State
+	// Ref is the lockstep sequential test machine (TestMode only).
+	Ref *arch.State
+
+	sch  *sched.Scheduler
+	vc   *vcache.Cache
+	eng  *vliw.Engine
+	ic   *mem.Cache
+	dc   *mem.Cache
+	pipe *primary.Pipeline
+
+	mode          Mode
+	predictor     map[uint32]uint32 // trace-exit target predictor
+	vpc           sched.LongAddr
+	seq           uint64 // sequential instructions covered so far
+	drain         int    // long instructions still draining from the last flush
+	skipProbe     bool   // suppress one VLIW Cache probe after a handover
+	excBudget     uint64 // exception mode: Primary-only instructions left
+	pendingExcErr error
+
+	journal []arch.StoreRec // machine-side stores since the last sync
+
+	// BlockHook, when set, observes every block saved to the VLIW Cache
+	// (used by the -dumpblocks tool and by tests).
+	BlockHook func(*sched.Block)
+
+	Stats Stats
+}
+
+// NewMachine builds a DTSVLIW machine over the architectural state st
+// (program already loaded, PC and stack initialised). In TestMode the
+// reference test machine is cloned from st before execution starts.
+func NewMachine(cfg Config, st *arch.State) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sch, err := sched.New(sched.Config{
+		Width: cfg.Width, Height: cfg.Height, FUs: cfg.FUs, NWin: cfg.NWin,
+		NoForwarding: cfg.NoSourceForwarding,
+		LoadLatency:  cfg.LoadLatency,
+		FPLatency:    cfg.FPLatency,
+		FPDivLatency: cfg.FPDivLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vc, err := vcache.New(cfg.VCacheConfig())
+	if err != nil {
+		return nil, err
+	}
+	ic, err := mem.NewCache(cfg.ICache)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := mem.NewCache(cfg.DCache)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := cfg.Pipeline
+	pcfg.LoadLatency = cfg.LoadLatency
+	pcfg.FPLatency = cfg.FPLatency
+	pcfg.FPDivLatency = cfg.FPDivLatency
+	m := &Machine{
+		cfg: cfg, St: st,
+		sch: sch, vc: vc, eng: vliw.New(st),
+		ic: ic, dc: dc,
+		pipe: primary.New(pcfg),
+	}
+	m.eng.SetScheme(cfg.StoreScheme)
+	if cfg.ExitPrediction {
+		m.predictor = make(map[uint32]uint32)
+	}
+	if cfg.TestMode {
+		m.Ref = st.Clone()
+		m.Ref.LogStores = true
+		st.LogStores = true
+	}
+	return m, nil
+}
+
+// VCache exposes the VLIW Cache (for tools and tests).
+func (m *Machine) VCache() *vcache.Cache { return m.vc }
+
+// Scheduler exposes the Scheduler Unit (for tools and tests).
+func (m *Machine) Scheduler() *sched.Scheduler { return m.sch }
+
+// Mode returns the engine currently executing.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// MismatchError reports a lockstep test-machine divergence: the DTSVLIW
+// produced architectural state different from sequential execution.
+type MismatchError struct {
+	Where string
+	Diff  string
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("core: test-machine mismatch at %s: %s", e.Where, e.Diff)
+}
+
+func (m *Machine) addCycles(n int, vliwMode bool) {
+	m.Stats.Cycles += uint64(n)
+	if vliwMode {
+		m.Stats.VLIWCycles += uint64(n)
+	} else {
+		m.Stats.PrimaryCycles += uint64(n)
+	}
+	m.drain -= n
+	if m.drain < 0 {
+		m.drain = 0
+	}
+}
+
+// saveBlock sends a finished block to the VLIW Cache, modelling the
+// one-long-instruction-per-cycle drain (paper §3.2): a new flush issued
+// while the previous block is still draining stalls the Primary
+// Processor.
+func (m *Machine) saveBlock(b *sched.Block) {
+	if b == nil {
+		return
+	}
+	if m.drain > 0 {
+		m.Stats.DrainStalls += uint64(m.drain)
+		m.addCycles(m.drain, false)
+	}
+	m.drain = b.NumLIs
+	m.vc.Save(b)
+	m.Stats.BlocksSaved++
+	if m.BlockHook != nil {
+		m.BlockHook(b)
+	}
+}
+
+// Run executes until the program halts, MaxInstrs sequential instructions
+// are covered, or an error (program fault, test-machine mismatch) occurs.
+func (m *Machine) Run() error {
+	for !m.St.Halted {
+		if m.cfg.MaxCycles > 0 && m.Stats.Cycles >= m.cfg.MaxCycles {
+			return fmt.Errorf("core: cycle limit %d reached", m.cfg.MaxCycles)
+		}
+		if m.cfg.MaxInstrs > 0 && m.seq >= m.cfg.MaxInstrs {
+			break
+		}
+		var err error
+		if m.mode == ModePrimary {
+			err = m.stepPrimary()
+		} else {
+			err = m.stepVLIW()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	m.Stats.Retired = m.seq
+	m.harvestStats()
+	if m.Ref != nil && m.St.Halted {
+		if err := m.finalCompare(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) harvestStats() {
+	m.Stats.Sched = m.sch.Stats
+	m.Stats.Engine = m.eng.Stats
+	m.Stats.ICacheAccesses, m.Stats.ICacheMisses = m.ic.Accesses, m.ic.Misses
+	m.Stats.DCacheAccesses, m.Stats.DCacheMisses = m.dc.Accesses, m.dc.Misses
+	m.Stats.VCacheHits, m.Stats.VCacheMisses = m.vc.Hits, m.vc.Misses
+}
+
+// stepPrimary executes one instruction on the Primary Processor, feeds it
+// to the Scheduler Unit, and performs the Fetch Unit's VLIW Cache probe
+// (paper §3.6).
+func (m *Machine) stepPrimary() error {
+	pc := m.St.PC
+
+	// Fetch Unit: probe the VLIW Cache with the address reaching the
+	// execute stage. On a hit the VLIW Engine takes over; the instruction
+	// is annulled before write-back and re-executed in VLIW mode.
+	if !m.skipProbe && m.excBudget == 0 {
+		if blk, ok := m.vc.Lookup(pc, m.St.CWP()); ok {
+			m.saveBlock(m.sch.Flush(pc, m.seq))
+			m.pipe.FlushState()
+			m.Stats.Switches++
+			m.Stats.SwitchCycles += uint64(m.cfg.SwitchToVLIW)
+			m.addCycles(m.cfg.SwitchToVLIW, true)
+			m.mode = ModeVLIW
+			m.vpc = sched.LongAddr{Addr: pc, Line: 0}
+			m.eng.BeginBlock(blk)
+			return nil
+		}
+	}
+	m.skipProbe = false
+
+	cwpBefore := m.St.CWP()
+	in, out, err := m.St.StepOutcome()
+	if err != nil {
+		if m.excBudget > 0 && m.pendingExcErr != nil {
+			return fmt.Errorf("core: exception confirmed architecturally at %#08x: %v (first seen as %v)",
+				pc, err, m.pendingExcErr)
+		}
+		return err
+	}
+
+	cycles := m.pipe.Price(&in, in.Effects(cwpBefore, m.cfg.NWin, out.EA), out)
+	cycles += m.ic.Access(pc)
+	if out.HasEA {
+		cycles += m.dc.Access(out.EA)
+	}
+	m.addCycles(cycles, false)
+
+	seqNo := m.seq
+	m.seq++
+
+	if m.excBudget > 0 {
+		// Exception mode: only the Primary Processor operates (paper
+		// §3.11). If the budget expires without the fault repeating,
+		// resume normal trace mode.
+		m.excBudget--
+		if m.excBudget == 0 {
+			m.pendingExcErr = nil
+		}
+	} else if !in.IsSchedulable() {
+		// Non-schedulable instructions flush the scheduling list (paper
+		// §3.9); the block's successor in the trace is this instruction.
+		m.saveBlock(m.sch.Flush(pc, seqNo))
+	} else {
+		blk, err := m.sch.Insert(sched.Completed{
+			Inst: in, Addr: pc, CWP: cwpBefore, Outcome: out, Seq: seqNo,
+		})
+		if err != nil {
+			return err
+		}
+		m.saveBlock(blk)
+	}
+
+	if m.Ref != nil {
+		if err := m.Ref.Step(); err != nil {
+			return fmt.Errorf("core: test machine: %w", err)
+		}
+		if err := m.compare(fmt.Sprintf("primary pc=%#08x", pc)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepVLIW executes one long instruction on the VLIW Engine.
+func (m *Machine) stepVLIW() error {
+	blk := m.eng.Block()
+	res := m.eng.ExecLI(m.vpc.Line)
+
+	cycles := 1 + res.RecoveryCycles
+	for _, a := range res.MemAddrs {
+		cycles += m.dc.Access(a)
+	}
+
+	if res.Exception {
+		// Recovery already restored the block-entry checkpoint; resume on
+		// the Primary Processor at the block's first instruction.
+		if res.Aliasing {
+			m.Stats.AliasingExceptions++
+			m.vc.Invalidate(blk.Tag, blk.EntryCWP)
+			m.sch.MarkConservative(blk.Tag, blk.EntryCWP)
+		} else {
+			m.Stats.OtherExceptions++
+			m.excBudget = blk.EndSeq - blk.FirstSeq
+			m.pendingExcErr = res.Err
+		}
+		m.switchToPrimary(blk.Tag, &cycles)
+		m.addCycles(cycles, true)
+		if m.Ref != nil {
+			// The rollback must land exactly on the test machine's state.
+			return m.compare(fmt.Sprintf("rollback of block %#08x (%v)", blk.Tag, res.Err))
+		}
+		return nil
+	}
+
+	m.journal = append(m.journal, res.Stores...)
+
+	switch {
+	case res.TraceExit:
+		// A branch left the recorded trace: one-cycle bubble, then fetch
+		// from the actual target (paper §3.5). With next-long-instruction
+		// prediction (paper §5), a correct last-target prediction hides
+		// the bubble.
+		m.seq += res.ExitAdvance
+		if m.predictor != nil {
+			if m.predictor[res.ExitBranch] == res.NextPC {
+				m.Stats.ExitPredHits++
+			} else {
+				m.predictor[res.ExitBranch] = res.NextPC
+				m.Stats.ExitPredMisses++
+				cycles++
+			}
+		} else {
+			cycles++
+		}
+		cycles += m.eng.FlushPending(m.vpc.Line)
+		if err := m.endBlockDrain(); err != nil {
+			return err
+		}
+		if err := m.syncRef(res.ExitAdvance, res.NextPC, "trace exit"); err != nil {
+			return err
+		}
+		if nb, ok := m.vc.Lookup(res.NextPC, m.St.CWP()); ok {
+			m.eng.BeginBlock(nb)
+			m.vpc = sched.LongAddr{Addr: res.NextPC, Line: 0}
+		} else {
+			m.switchToPrimary(res.NextPC, &cycles)
+		}
+
+	case m.vpc.Line == blk.NBA.Line:
+		// Last long instruction: follow the next block address store.
+		advance := blk.EndSeq - blk.FirstSeq
+		m.seq += advance
+		next := blk.NBA.Addr
+		cycles += m.eng.FlushPending(m.vpc.Line)
+		if err := m.endBlockDrain(); err != nil {
+			return err
+		}
+		if err := m.syncRef(advance, next, "block end"); err != nil {
+			return err
+		}
+		if nb, ok := m.vc.Lookup(next, m.St.CWP()); ok {
+			cycles += m.cfg.NextLIMissPenalty
+			m.eng.BeginBlock(nb)
+			m.vpc = sched.LongAddr{Addr: next, Line: 0}
+		} else {
+			m.switchToPrimary(next, &cycles)
+		}
+
+	default:
+		m.vpc.Line++
+	}
+
+	m.addCycles(cycles, true)
+	return nil
+}
+
+// endBlockDrain transfers the data store list to memory when the
+// store-list scheme is active (no-op under the checkpoint scheme).
+func (m *Machine) endBlockDrain() error {
+	recs, err := m.eng.EndBlock()
+	if err != nil {
+		return err
+	}
+	m.journal = append(m.journal, recs...)
+	return nil
+}
+
+func (m *Machine) switchToPrimary(pc uint32, cycles *int) {
+	m.mode = ModePrimary
+	m.St.PC = pc
+	m.skipProbe = true
+	m.pipe.FlushState()
+	m.Stats.Switches++
+	m.Stats.SwitchCycles += uint64(m.cfg.SwitchToPrimary)
+	*cycles += m.cfg.SwitchToPrimary
+}
+
+// syncRef advances the lockstep test machine by n sequential instructions
+// and verifies that it arrives at wantPC with identical architectural
+// state.
+func (m *Machine) syncRef(n uint64, wantPC uint32, where string) error {
+	if m.Ref == nil {
+		return nil
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := m.Ref.Step(); err != nil {
+			return fmt.Errorf("core: test machine: %w", err)
+		}
+	}
+	if m.Ref.PC != wantPC {
+		return &MismatchError{Where: where,
+			Diff: fmt.Sprintf("PC %#08x != test machine %#08x", wantPC, m.Ref.PC)}
+	}
+	return m.compare(where)
+}
+
+// compare checks registers and journaled memory against the test machine.
+func (m *Machine) compare(where string) error {
+	if diff, ok := arch.CompareRegisters(m.St, m.Ref); !ok {
+		return &MismatchError{Where: where, Diff: diff}
+	}
+	// Harvest the Primary Processor's journaled stores.
+	m.journal = append(m.journal, m.St.StoreLog...)
+	m.St.StoreLog = m.St.StoreLog[:0]
+	refJ := m.Ref.StoreLog
+	m.Ref.StoreLog = m.Ref.StoreLog[:0]
+	for _, recs := range [2][]arch.StoreRec{m.journal, refJ} {
+		for _, r := range recs {
+			a, _ := m.St.Mem.Read(r.Addr, r.Size)
+			b, _ := m.Ref.Mem.Read(r.Addr, r.Size)
+			if a != b {
+				return &MismatchError{Where: where,
+					Diff: fmt.Sprintf("mem[%#08x..+%d] %#x != test machine %#x", r.Addr, r.Size, a, b)}
+			}
+		}
+	}
+	m.journal = m.journal[:0]
+	if string(m.St.Output) != string(m.Ref.Output) {
+		return &MismatchError{Where: where,
+			Diff: fmt.Sprintf("output %q != test machine %q", m.St.Output, m.Ref.Output)}
+	}
+	return nil
+}
+
+// finalCompare verifies full memory equality after the program halts.
+func (m *Machine) finalCompare() error {
+	if m.St.Halted != m.Ref.Halted {
+		// Let the test machine finish its current instruction stream.
+		for !m.Ref.Halted {
+			if err := m.Ref.Step(); err != nil {
+				return fmt.Errorf("core: test machine: %w", err)
+			}
+		}
+	}
+	if m.St.ExitCode != m.Ref.ExitCode {
+		return &MismatchError{Where: "halt",
+			Diff: fmt.Sprintf("exit code %d != test machine %d", m.St.ExitCode, m.Ref.ExitCode)}
+	}
+	if addr, diff := m.St.Mem.FirstDiff(m.Ref.Mem); diff {
+		return &MismatchError{Where: "halt",
+			Diff: fmt.Sprintf("memory differs at %#08x", addr)}
+	}
+	return nil
+}
+
+// RefInstret returns the test machine's instruction count (the paper's
+// IPC numerator); without TestMode it returns the machine's own retired
+// count, which is identical by construction.
+func (m *Machine) RefInstret() uint64 {
+	if m.Ref != nil {
+		return m.Ref.Instret
+	}
+	return m.seq
+}

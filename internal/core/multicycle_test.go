@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dtsvliw/internal/progen"
+	"dtsvliw/internal/workloads"
+)
+
+// TestMulticycleLockstep runs random hazard-heavy programs with multicycle
+// load and floating-point latencies in lockstep test mode: the latency
+// horizon in the Scheduler Unit and the delayed commit in the VLIW Engine
+// must preserve sequential semantics exactly.
+func TestMulticycleLockstep(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	lats := [][3]int{{2, 2, 4}, {3, 2, 8}, {4, 1, 1}, {1, 3, 6}}
+	for seed := 0; seed < seeds; seed++ {
+		src := progen.Generate(progen.DefaultParams(int64(4000 + seed)))
+		l := lats[seed%len(lats)]
+		t.Run(fmt.Sprintf("seed%d_L%d-%d-%d", seed, l[0], l[1], l[2]), func(t *testing.T) {
+			cfg := IdealConfig(6, 8)
+			cfg.LoadLatency, cfg.FPLatency, cfg.FPDivLatency = l[0], l[1], l[2]
+			m := runDTSVLIW(t, src, cfg)
+			if !m.St.Halted {
+				t.Fatal("did not halt")
+			}
+		})
+	}
+}
+
+// TestMulticycleWorkloads validates every benchmark with 2-cycle loads
+// (the companion study's central configuration).
+func TestMulticycleWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := IdealConfig(8, 8)
+			cfg.LoadLatency = 2
+			cfg.FPLatency = 2
+			cfg.TestMode = true
+			cfg.MaxInstrs = 100_000
+			cfg.MaxCycles = 1 << 40
+			st, err := w.NewState(cfg.NWin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewMachine(cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if st.Halted {
+				if err := w.Validate(st); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestMulticycleCostsCycles: raising load latency must slow a
+// load-dominated workload down (but not change its result).
+func TestMulticycleCostsCycles(t *testing.T) {
+	w, _ := workloads.ByName("vortex") // pointer chasing: load latency bound
+	run := func(loadLat int) *Machine {
+		cfg := IdealConfig(8, 8)
+		cfg.LoadLatency = loadLat
+		cfg.MaxInstrs = 80_000
+		cfg.MaxCycles = 1 << 40
+		st, err := w.NewState(cfg.NWin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMachine(cfg, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	l1 := run(1)
+	l3 := run(3)
+	if l3.Stats.Cycles <= l1.Stats.Cycles {
+		t.Fatalf("3-cycle loads not slower: %d vs %d cycles",
+			l3.Stats.Cycles, l1.Stats.Cycles)
+	}
+	ratio := float64(l3.Stats.Cycles) / float64(l1.Stats.Cycles)
+	if ratio > 3.0 {
+		t.Fatalf("slowdown %0.2fx exceeds the latency itself", ratio)
+	}
+	t.Logf("vortex: load latency 3 costs %.2fx cycles", ratio)
+}
+
+// TestMulticycleBlockPadding: the scheduler inserts padding elements so a
+// consumer never lands within its producer's latency shadow.
+func TestMulticycleBlockPadding(t *testing.T) {
+	src := `
+	.data 0x40000
+v:	.word 5
+	.text 0x1000
+start:
+	set v, %l0
+	ld [%l0], %o1        ! 4-cycle load
+	add %o1, 1, %o0      ! consumer
+	ta 0
+`
+	cfg := IdealConfig(8, 8)
+	cfg.LoadLatency = 4
+	m := runDTSVLIW(t, src, cfg)
+	if m.St.ExitCode != 6 {
+		t.Fatalf("exit %d", m.St.ExitCode)
+	}
+}

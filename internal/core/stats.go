@@ -1,0 +1,58 @@
+package core
+
+import (
+	"dtsvliw/internal/sched"
+	"dtsvliw/internal/vliw"
+)
+
+// Stats aggregates a DTSVLIW run. IPC and the Table 3 columns derive from
+// these counters.
+type Stats struct {
+	Cycles        uint64
+	PrimaryCycles uint64
+	VLIWCycles    uint64
+	SwitchCycles  uint64
+	DrainStalls   uint64 // Primary stalled on an in-flight block flush
+
+	Retired uint64 // sequential instructions covered (the IPC numerator)
+
+	Switches           uint64 // engine handovers (both directions)
+	BlocksSaved        uint64
+	AliasingExceptions uint64
+	OtherExceptions    uint64
+
+	// Next-long-instruction prediction outcomes (when enabled).
+	ExitPredHits   uint64
+	ExitPredMisses uint64
+
+	ICacheAccesses, ICacheMisses uint64
+	DCacheAccesses, DCacheMisses uint64
+	VCacheHits, VCacheMisses     uint64
+
+	Sched  sched.Stats
+	Engine vliw.Stats
+}
+
+// IPC returns the paper's performance index: sequential instructions (as
+// counted by the test machine) divided by DTSVLIW cycles.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// VLIWCycleFraction returns the fraction of cycles spent in the VLIW
+// Engine (Table 3's "VLIW Engine Execution Cycles").
+func (s *Stats) VLIWCycleFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.VLIWCycles) / float64(s.Cycles)
+}
+
+// SlotUtilisation returns the fraction of block slots holding valid
+// instructions (paper reports ~33% on average).
+func (s *Stats) SlotUtilisation(width, height int) float64 {
+	return s.Sched.SlotUtilisation(width, height)
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"dtsvliw/internal/progen"
+)
+
+// TestStressMany sweeps hundreds of random programs across geometries in
+// lockstep test mode and asserts that all speculation machinery (splits,
+// trace exits, tag annulment, aliasing recovery) is actually exercised,
+// not just absent.
+func TestStressMany(t *testing.T) {
+	seeds := 300
+	if testing.Short() {
+		seeds = 40
+	}
+	var alias, exits, splits, annulled uint64
+	for seed := 0; seed < seeds; seed++ {
+		src := progen.Generate(progen.DefaultParams(int64(seed)))
+		geo := [][2]int{{4, 4}, {8, 8}, {2, 12}, {12, 2}, {5, 7}}[seed%5]
+		m := runDTSVLIW(t, src, IdealConfig(geo[0], geo[1]))
+		alias += m.Stats.AliasingExceptions
+		exits += m.Stats.Engine.TraceExits
+		splits += m.Stats.Sched.Splits
+		annulled += m.Stats.Engine.OpsAnnulled
+	}
+	t.Logf("totals: aliasing=%d traceExits=%d splits=%d annulled=%d",
+		alias, exits, splits, annulled)
+	if !testing.Short() && alias == 0 {
+		t.Error("no aliasing exceptions exercised")
+	}
+	if exits == 0 || splits == 0 || annulled == 0 {
+		t.Error("speculation machinery not exercised")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"dtsvliw/internal/workloads"
+)
+
+// TestWorkloadsOnDTSVLIW runs every benchmark workload through the full
+// DTSVLIW machine in lockstep test mode (ideal 8x8 configuration) and
+// validates the result against the workload's Go reference model.
+func TestWorkloadsOnDTSVLIW(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := IdealConfig(8, 8)
+			cfg.TestMode = true
+			cfg.MaxCycles = 1 << 40
+			if testing.Short() {
+				cfg.MaxInstrs = 50_000
+			}
+			st, err := w.NewState(cfg.NWin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewMachine(cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if cfg.MaxInstrs == 0 {
+				if err := w.Validate(st); err != nil {
+					t.Fatal(err)
+				}
+			}
+			t.Logf("%s: IPC %.2f, %.1f%% VLIW cycles, %d aliasing",
+				w.Name, m.Stats.IPC(), 100*m.Stats.VLIWCycleFraction(),
+				m.Stats.AliasingExceptions)
+		})
+	}
+}
+
+// TestWorkloadsOnFeasibleMachine repeats the run on the paper's §4.4
+// feasible configuration.
+func TestWorkloadsOnFeasibleMachine(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := FeasibleConfig()
+			cfg.TestMode = true
+			cfg.MaxCycles = 1 << 40
+			cfg.MaxInstrs = 200_000
+			st, err := w.NewState(cfg.NWin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewMachine(cfg, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if st.Halted {
+				if err := w.Validate(st); err != nil {
+					t.Fatal(err)
+				}
+			}
+			t.Logf("%s: IPC %.2f, %.1f%% VLIW cycles",
+				w.Name, m.Stats.IPC(), 100*m.Stats.VLIWCycleFraction())
+		})
+	}
+}

@@ -1,0 +1,240 @@
+// Package dif implements the DIF (Dynamic Instruction Formatting) machine
+// of Nair and Hopkins, the paper's Figure 9 comparator. Like the original
+// evaluation (a trace simulator), this is a trace-driven timing model over
+// the sequential interpreter:
+//
+//   - a primary engine executes instructions the first time (same pipeline
+//     costs as the DTSVLIW Primary Processor),
+//   - a greedy scheduler places each completed instruction into the
+//     earliest long instruction of the current group using a
+//     resource-availability table (not the DTSVLIW's FCFS list),
+//   - register renaming uses a bounded number of instances per
+//     architectural register (4 in the paper); instance exhaustion ends
+//     the group,
+//   - finished groups are saved in the DIF cache at whole-block
+//     granularity, with exit maps consuming cache space (19 bytes per exit
+//     point),
+//   - on a fetch hit, the VLIW engine replays the group: one cycle per
+//     long instruction, exiting early when a branch leaves the recorded
+//     trace.
+//
+// Differences from the DTSVLIW (paper §3.12) reproduced here: block-
+// granularity cache communication, greedy versus FCFS scheduling, instance
+// renaming versus split/copy, and the exit-map cache-space overhead.
+package dif
+
+import (
+	"fmt"
+
+	"dtsvliw/internal/arch"
+	"dtsvliw/internal/isa"
+	"dtsvliw/internal/mem"
+	"dtsvliw/internal/primary"
+)
+
+// Config parameterises a DIF machine. Defaults follow the paper's
+// Figure 9 parameters.
+type Config struct {
+	Width    int // instructions per long instruction (homogeneous units)
+	Height   int // long instructions per group
+	Branches int // branch units (branch slots per long instruction)
+
+	// Instances is the number of renaming instances per architectural
+	// register (4 in the DIF evaluation).
+	Instances int
+
+	// CacheBlocks/CacheAssoc size the DIF cache in groups. Exit maps are
+	// accounted in CacheBytes for reporting only: the cache holds whole
+	// groups regardless.
+	CacheBlocks int
+	CacheAssoc  int
+
+	// GroupFetchCycles is charged on every group entry: the unit of
+	// communication between the DIF cache and its VLIW engine is an
+	// entire block (paper §3.12), so execution cannot start until the
+	// block transfer begins, unlike the DTSVLIW's per-long-instruction
+	// VLIW Cache access.
+	GroupFetchCycles int
+
+	ICache mem.CacheConfig
+	DCache mem.CacheConfig
+
+	Pipeline        primary.Config
+	SwitchToVLIW    int
+	SwitchToPrimary int
+
+	NWin      int
+	MaxInstrs uint64
+	MaxCycles uint64
+}
+
+// Figure9Config returns the configuration used for the paper's DTSVLIW
+// versus DIF comparison: 2 branch units plus 4 homogeneous units, 4-KB
+// instruction and data caches with 2-cycle miss penalty, a 512x2-block
+// DIF cache, and groups of 6 long instructions of 6 instructions.
+func Figure9Config() Config {
+	return Config{
+		Width: 6, Height: 6, Branches: 2,
+		Instances:   4,
+		CacheBlocks: 1024, CacheAssoc: 2,
+		GroupFetchCycles: 1,
+		ICache:           mem.CacheConfig{SizeBytes: 4 * 1024, LineBytes: 128, Assoc: 2, MissPenalty: 2},
+		DCache:           mem.CacheConfig{SizeBytes: 4 * 1024, LineBytes: 32, Assoc: 1, MissPenalty: 2},
+		Pipeline:         primary.DefaultConfig(),
+		SwitchToVLIW:     2, SwitchToPrimary: 3,
+		NWin:      16,
+		MaxCycles: 1 << 62,
+	}
+}
+
+// CacheBytes reports the DIF cache capacity in bytes, including the
+// 19-byte exit maps (one per branch slot per long instruction plus one
+// final exit, as the paper computes 463 KB for 512x2 blocks of 6x6).
+func (c Config) CacheBytes() int {
+	exits := c.Height*c.Branches + 1
+	block := c.Width*c.Height*6 + exits*19
+	return c.CacheBlocks * block
+}
+
+// traceRec is one instruction of a group's recorded trace.
+type traceRec struct {
+	addr  uint32
+	sched int // long-instruction index the greedy scheduler chose
+}
+
+// group is one DIF cache block.
+type group struct {
+	tag      uint32
+	cwp      uint8
+	numLIs   int
+	trace    []traceRec
+	nextAddr uint32
+}
+
+// Stats accumulates a DIF run.
+type Stats struct {
+	Cycles        uint64
+	PrimaryCycles uint64
+	DIFCycles     uint64
+	Retired       uint64
+	GroupsSaved   uint64
+	GroupHits     uint64
+	GroupMisses   uint64
+	TraceExits    uint64
+	InstanceEnds  uint64 // groups ended by instance exhaustion
+	Switches      uint64
+}
+
+// IPC returns instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// Machine is a DIF processor timing model over sequential state.
+type Machine struct {
+	cfg  Config
+	st   *arch.State
+	ic   *mem.Cache
+	dc   *mem.Cache
+	pipe *primary.Pipeline
+
+	cache     []difLine // CacheBlocks entries, set-associative
+	sets      int
+	clk       uint64
+	skipProbe bool
+
+	// group under construction
+	cur       *group
+	avail     map[isa.Loc]int
+	readAvail map[isa.Loc]int // latest long instruction reading a location
+	liUsed    []int           // non-branch slots used per LI
+	brUsed    []int           // branch slots used per LI
+	lastBrLI  int
+	writes    map[uint16]int // instance count per physical register
+
+	Stats Stats
+}
+
+type difLine struct {
+	valid bool
+	tag   uint32
+	cwp   uint8
+	g     *group
+	lru   uint64
+}
+
+// New builds a DIF machine over st.
+func New(cfg Config, st *arch.State) (*Machine, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.CacheBlocks <= 0 {
+		return nil, fmt.Errorf("dif: bad config %+v", cfg)
+	}
+	ic, err := mem.NewCache(cfg.ICache)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := mem.NewCache(cfg.DCache)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg: cfg, st: st, ic: ic, dc: dc,
+		pipe:  primary.New(cfg.Pipeline),
+		cache: make([]difLine, cfg.CacheBlocks),
+		sets:  cfg.CacheBlocks / cfg.CacheAssoc,
+	}
+	if m.sets == 0 {
+		m.sets = 1
+	}
+	m.resetGroup()
+	return m, nil
+}
+
+func (m *Machine) resetGroup() {
+	m.cur = nil
+	m.avail = make(map[isa.Loc]int)
+	m.readAvail = make(map[isa.Loc]int)
+	m.liUsed = make([]int, m.cfg.Height)
+	m.brUsed = make([]int, m.cfg.Height)
+	m.lastBrLI = 0
+	m.writes = make(map[uint16]int)
+}
+
+func (m *Machine) lookup(addr uint32, cwp uint8) (*group, bool) {
+	base := (int(addr>>2) % m.sets) * m.cfg.CacheAssoc
+	for i := 0; i < m.cfg.CacheAssoc; i++ {
+		l := &m.cache[base+i]
+		if l.valid && l.tag == addr && l.cwp == cwp {
+			m.clk++
+			l.lru = m.clk
+			return l.g, true
+		}
+	}
+	return nil, false
+}
+
+func (m *Machine) save(g *group) {
+	if g == nil || len(g.trace) == 0 {
+		return
+	}
+	m.clk++
+	base := (int(g.tag>>2) % m.sets) * m.cfg.CacheAssoc
+	victim := base
+	for i := 0; i < m.cfg.CacheAssoc; i++ {
+		l := &m.cache[base+i]
+		if l.valid && l.tag == g.tag && l.cwp == g.cwp {
+			victim = base + i
+			break
+		}
+		if !m.cache[victim].valid {
+			continue
+		}
+		if !l.valid || l.lru < m.cache[victim].lru {
+			victim = base + i
+		}
+	}
+	m.cache[victim] = difLine{valid: true, tag: g.tag, cwp: g.cwp, g: g, lru: m.clk}
+	m.Stats.GroupsSaved++
+}

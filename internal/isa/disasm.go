@@ -1,0 +1,105 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RegName returns the conventional SPARC name of architectural register r.
+func RegName(r uint8) string {
+	switch {
+	case r < 8:
+		return fmt.Sprintf("%%g%d", r)
+	case r < 16:
+		return fmt.Sprintf("%%o%d", r-8)
+	case r < 24:
+		return fmt.Sprintf("%%l%d", r-16)
+	default:
+		return fmt.Sprintf("%%i%d", r-24)
+	}
+}
+
+func (in *Inst) operand2() string {
+	if in.UseImm {
+		return fmt.Sprintf("%d", in.Imm)
+	}
+	return RegName(in.Rs2)
+}
+
+func (in *Inst) memOperand() string {
+	if in.UseImm {
+		if in.Imm == 0 {
+			return fmt.Sprintf("[%s]", RegName(in.Rs1))
+		}
+		return fmt.Sprintf("[%s%+d]", RegName(in.Rs1), in.Imm)
+	}
+	return fmt.Sprintf("[%s+%s]", RegName(in.Rs1), RegName(in.Rs2))
+}
+
+// Disasm renders the instruction in SPARC assembly syntax. addr is used to
+// resolve PC-relative branch targets.
+func (in *Inst) Disasm(addr uint32) string {
+	switch in.Op {
+	case OpSETHI:
+		if in.IsNop() {
+			return "nop"
+		}
+		return fmt.Sprintf("sethi %%hi(%#x), %s", uint32(in.Imm)<<10, RegName(in.Rd))
+	case OpCALL:
+		return fmt.Sprintf("call %#x", in.BranchTarget(addr))
+	case OpBICC:
+		s := "b" + CondName(in.Cond)
+		if in.Annul {
+			s += ",a"
+		}
+		return fmt.Sprintf("%s %#x", s, in.BranchTarget(addr))
+	case OpFBFCC:
+		s := "fb" + FCondName(in.Cond)
+		if in.Annul {
+			s += ",a"
+		}
+		return fmt.Sprintf("%s %#x", s, in.BranchTarget(addr))
+	case OpJMPL:
+		return fmt.Sprintf("jmpl %s+%s, %s", RegName(in.Rs1), in.operand2(), RegName(in.Rd))
+	case OpTICC:
+		return fmt.Sprintf("t%s %s", CondName(in.Cond), in.operand2())
+	case OpRDY:
+		return fmt.Sprintf("rd %%y, %s", RegName(in.Rd))
+	case OpWRY:
+		return fmt.Sprintf("wr %s, %s, %%y", RegName(in.Rs1), in.operand2())
+	case OpUNIMP:
+		return fmt.Sprintf("unimp %d", in.Imm)
+	}
+	if in.IsLoad() || in.IsStore() {
+		name := in.Op.String()
+		if in.Op == OpLDF || in.Op == OpLDDF || in.Op == OpSTF || in.Op == OpSTDF {
+			reg := fmt.Sprintf("%%f%d", in.Rd)
+			if in.IsStore() {
+				return fmt.Sprintf("%s %s, %s", name, reg, in.memOperand())
+			}
+			return fmt.Sprintf("%s %s, %s", name, in.memOperand(), reg)
+		}
+		if in.IsStore() && in.Op != OpSWAP && in.Op != OpLDSTUB {
+			return fmt.Sprintf("%s %s, %s", name, RegName(in.Rd), in.memOperand())
+		}
+		return fmt.Sprintf("%s %s, %s", name, in.memOperand(), RegName(in.Rd))
+	}
+	if in.Class() == FUFloat {
+		name := in.Op.String()
+		switch in.Op {
+		case OpFMOVS, OpFNEGS, OpFABSS, OpFITOS, OpFITOD, OpFSTOI, OpFDTOI, OpFSTOD, OpFDTOS:
+			return fmt.Sprintf("%s %%f%d, %%f%d", name, in.Rs2, in.Rd)
+		case OpFCMPS, OpFCMPD:
+			return fmt.Sprintf("%s %%f%d, %%f%d", name, in.Rs1, in.Rs2)
+		default:
+			return fmt.Sprintf("%s %%f%d, %%f%d, %%f%d", name, in.Rs1, in.Rs2, in.Rd)
+		}
+	}
+	if in.IsNop() {
+		return "nop"
+	}
+	// Three-operand integer form.
+	return fmt.Sprintf("%s %s, %s, %s", in.Op, RegName(in.Rs1), in.operand2(), RegName(in.Rd))
+}
+
+func (in *Inst) String() string { return strings.TrimSpace(in.Disasm(0)) }

@@ -1,0 +1,31 @@
+package isa
+
+import "testing"
+
+// FuzzDecode: the decoder must never panic on arbitrary words, and any
+// word it decodes must re-encode to an equivalent instruction.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0x01000000)) // nop
+	f.Add(uint32(0x81d82000))
+	f.Add(uint32(0x40000001)) // call
+	f.Add(uint32(0x12bfffff)) // bne
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		in, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %#08x to %+v but cannot re-encode: %v", raw, in, err)
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Fatalf("re-encoded %#08x undecodable", w)
+		}
+		in.Raw, back.Raw = 0, 0
+		if in != back {
+			t.Fatalf("decode/encode not idempotent: %#08x -> %+v -> %#08x -> %+v",
+				raw, in, w, back)
+		}
+	})
+}

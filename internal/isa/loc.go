@@ -1,0 +1,314 @@
+package isa
+
+import "fmt"
+
+// LocKind classifies an architectural storage position. The Scheduler Unit
+// computes every data dependency (true, anti, output) as an overlap between
+// Loc sets, exactly as the paper's hardware compares register specifiers,
+// condition-code usage and load/store addresses.
+type LocKind uint8
+
+const (
+	LocNone LocKind = iota
+	LocIReg         // physical integer register (window-resolved)
+	LocFReg         // floating-point register
+	LocICC          // integer condition codes
+	LocFCC          // floating-point condition code
+	LocY            // Y register (MULSCC)
+	LocCWP          // current window pointer (SAVE/RESTORE ordering)
+	LocMem          // memory byte range [Addr, Addr+Size)
+	LocRen          // renaming register (Idx = index, Addr = class);
+	// never produced by Effects — the Scheduler Unit rewrites operands
+	// of instructions that consume a split instruction's result to read
+	// the renaming register directly (paper Figure 2: "subcc r32, ...")
+)
+
+// Loc is one architectural storage position.
+type Loc struct {
+	Kind LocKind
+	Idx  uint16 // physical register index for LocIReg / LocFReg
+	Addr uint32 // start address for LocMem
+	Size uint8  // byte length for LocMem
+}
+
+// Overlaps reports whether two locations denote overlapping storage.
+func (a Loc) Overlaps(b Loc) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case LocIReg, LocFReg:
+		return a.Idx == b.Idx
+	case LocMem:
+		return a.Addr < b.Addr+uint32(b.Size) && b.Addr < a.Addr+uint32(a.Size)
+	case LocRen:
+		return a.Idx == b.Idx && a.Addr == b.Addr
+	default:
+		return true // ICC, FCC, Y, CWP are singletons
+	}
+}
+
+func (a Loc) String() string {
+	switch a.Kind {
+	case LocIReg:
+		return fmt.Sprintf("r%d", a.Idx)
+	case LocFReg:
+		return fmt.Sprintf("f%d", a.Idx)
+	case LocICC:
+		return "icc"
+	case LocFCC:
+		return "fcc"
+	case LocY:
+		return "y"
+	case LocCWP:
+		return "cwp"
+	case LocMem:
+		return fmt.Sprintf("m[%#x+%d]", a.Addr, a.Size)
+	case LocRen:
+		return fmt.Sprintf("ren%d.%d", a.Addr, a.Idx)
+	}
+	return "none"
+}
+
+// IReg constructs an integer-register location (physical index).
+func IReg(idx uint16) Loc { return Loc{Kind: LocIReg, Idx: idx} }
+
+// FReg constructs a floating-point-register location.
+func FReg(idx uint16) Loc { return Loc{Kind: LocFReg, Idx: idx} }
+
+// MemLoc constructs a memory range location.
+func MemLoc(addr uint32, size uint8) Loc { return Loc{Kind: LocMem, Addr: addr, Size: size} }
+
+// NumPhysRegs returns the size of the physical integer register file for a
+// machine with nwin register windows: 8 globals plus 16 per window
+// (adjacent windows share 8 through the in/out overlap).
+func NumPhysRegs(nwin int) int { return 8 + nwin*16 }
+
+// PhysReg maps architectural register r (0..31) in window cwp to its
+// physical register index. Index 0 is %g0 and is hardwired to zero. The
+// outs of window w are the ins of window (w-1) mod nwin, matching the SPARC
+// convention that SAVE decrements CWP.
+func PhysReg(cwp uint8, r uint8, nwin int) uint16 {
+	switch {
+	case r < 8: // globals
+		return uint16(r)
+	case r < 16: // outs
+		return 8 + uint16(cwp)*16 + uint16(r-8)
+	case r < 24: // locals
+		return 8 + uint16(cwp)*16 + 8 + uint16(r-16)
+	default: // ins = outs of the next-higher window
+		w := (int(cwp) + 1) % nwin
+		return 8 + uint16(w)*16 + uint16(r-24)
+	}
+}
+
+// Effects lists the storage positions an instruction reads and writes.
+// Reads and Writes never contain %g0 (physical index 0), which carries no
+// dependencies.
+type Effects struct {
+	Reads  []Loc
+	Writes []Loc
+}
+
+// SaveCWP returns the CWP after executing SAVE in window cwp.
+func SaveCWP(cwp uint8, nwin int) uint8 { return uint8((int(cwp) + nwin - 1) % nwin) }
+
+// RestoreCWP returns the CWP after executing RESTORE in window cwp.
+func RestoreCWP(cwp uint8, nwin int) uint8 { return uint8((int(cwp) + 1) % nwin) }
+
+// Effects computes the dependency footprint of the instruction as executed
+// in window cwp. For memory instructions, ea must be the effective address
+// observed at execution time (the Scheduler Unit uses the address seen
+// during Primary Processor execution, per paper §3.9/§3.10).
+func (in *Inst) Effects(cwp uint8, nwin int, ea uint32) Effects {
+	var e Effects
+	readR := func(r uint8) {
+		if p := PhysReg(cwp, r, nwin); p != 0 {
+			e.Reads = append(e.Reads, IReg(p))
+		}
+	}
+	writeR := func(r uint8) {
+		if p := PhysReg(cwp, r, nwin); p != 0 {
+			e.Writes = append(e.Writes, IReg(p))
+		}
+	}
+	srcs := func() {
+		readR(in.Rs1)
+		if !in.UseImm {
+			readR(in.Rs2)
+		}
+	}
+	icc := Loc{Kind: LocICC}
+	fcc := Loc{Kind: LocFCC}
+	y := Loc{Kind: LocY}
+	cwpLoc := Loc{Kind: LocCWP}
+
+	switch in.Op {
+	case OpSETHI:
+		writeR(in.Rd)
+
+	case OpADD, OpSUB, OpAND, OpANDN, OpOR, OpORN, OpXOR, OpXNOR,
+		OpSLL, OpSRL, OpSRA:
+		srcs()
+		writeR(in.Rd)
+
+	case OpADDCC, OpSUBCC, OpANDCC, OpANDNCC, OpORCC, OpORNCC, OpXORCC, OpXNORCC:
+		srcs()
+		writeR(in.Rd)
+		e.Writes = append(e.Writes, icc)
+
+	case OpADDX, OpSUBX:
+		srcs()
+		e.Reads = append(e.Reads, icc)
+		writeR(in.Rd)
+
+	case OpADDXCC, OpSUBXCC:
+		srcs()
+		e.Reads = append(e.Reads, icc)
+		writeR(in.Rd)
+		e.Writes = append(e.Writes, icc)
+
+	case OpMULSCC:
+		srcs()
+		e.Reads = append(e.Reads, icc, y)
+		writeR(in.Rd)
+		e.Writes = append(e.Writes, icc, y)
+
+	case OpRDY:
+		e.Reads = append(e.Reads, y)
+		writeR(in.Rd)
+
+	case OpWRY:
+		srcs()
+		e.Writes = append(e.Writes, y)
+
+	case OpSAVE:
+		// Sources are read in the old window; the destination is written
+		// in the new window.
+		srcs()
+		e.Reads = append(e.Reads, cwpLoc)
+		e.Writes = append(e.Writes, cwpLoc)
+		if p := PhysReg(SaveCWP(cwp, nwin), in.Rd, nwin); p != 0 {
+			e.Writes = append(e.Writes, IReg(p))
+		}
+
+	case OpRESTORE:
+		srcs()
+		e.Reads = append(e.Reads, cwpLoc)
+		e.Writes = append(e.Writes, cwpLoc)
+		if p := PhysReg(RestoreCWP(cwp, nwin), in.Rd, nwin); p != 0 {
+			e.Writes = append(e.Writes, IReg(p))
+		}
+
+	case OpCALL:
+		writeR(15)
+
+	case OpBICC:
+		if in.Cond != CondA && in.Cond != CondN {
+			e.Reads = append(e.Reads, icc)
+		}
+
+	case OpFBFCC:
+		if in.Cond != CondA && in.Cond != CondN {
+			e.Reads = append(e.Reads, fcc)
+		}
+
+	case OpJMPL:
+		srcs()
+		writeR(in.Rd)
+
+	case OpTICC:
+		srcs()
+		if in.Cond != CondA && in.Cond != CondN {
+			e.Reads = append(e.Reads, icc)
+		}
+
+	case OpLD, OpLDUB, OpLDSB, OpLDUH, OpLDSH:
+		srcs()
+		e.Reads = append(e.Reads, MemLoc(ea, in.MemSize()))
+		writeR(in.Rd)
+
+	case OpLDD:
+		srcs()
+		e.Reads = append(e.Reads, MemLoc(ea, 8))
+		writeR(in.Rd &^ 1)
+		writeR(in.Rd | 1)
+
+	case OpST, OpSTB, OpSTH:
+		srcs()
+		readR(in.Rd) // store data
+		e.Writes = append(e.Writes, MemLoc(ea, in.MemSize()))
+
+	case OpSTD:
+		srcs()
+		readR(in.Rd &^ 1)
+		readR(in.Rd | 1)
+		e.Writes = append(e.Writes, MemLoc(ea, 8))
+
+	case OpLDSTUB, OpSWAP: // non-schedulable, but footprint is still defined
+		srcs()
+		e.Reads = append(e.Reads, MemLoc(ea, in.MemSize()))
+		if in.Op == OpSWAP {
+			readR(in.Rd)
+		}
+		writeR(in.Rd)
+		e.Writes = append(e.Writes, MemLoc(ea, in.MemSize()))
+
+	case OpLDF:
+		srcs()
+		e.Reads = append(e.Reads, MemLoc(ea, 4))
+		e.Writes = append(e.Writes, FReg(uint16(in.Rd)))
+
+	case OpLDDF:
+		srcs()
+		e.Reads = append(e.Reads, MemLoc(ea, 8))
+		e.Writes = append(e.Writes, FReg(uint16(in.Rd&^1)), FReg(uint16(in.Rd|1)))
+
+	case OpSTF:
+		srcs()
+		e.Reads = append(e.Reads, FReg(uint16(in.Rd)))
+		e.Writes = append(e.Writes, MemLoc(ea, 4))
+
+	case OpSTDF:
+		srcs()
+		e.Reads = append(e.Reads, FReg(uint16(in.Rd&^1)), FReg(uint16(in.Rd|1)))
+		e.Writes = append(e.Writes, MemLoc(ea, 8))
+
+	case OpFMOVS, OpFNEGS, OpFABSS, OpFITOS, OpFSTOI:
+		e.Reads = append(e.Reads, FReg(uint16(in.Rs2)))
+		e.Writes = append(e.Writes, FReg(uint16(in.Rd)))
+
+	case OpFITOD:
+		e.Reads = append(e.Reads, FReg(uint16(in.Rs2)))
+		e.Writes = append(e.Writes, FReg(uint16(in.Rd&^1)), FReg(uint16(in.Rd|1)))
+
+	case OpFDTOI, OpFDTOS:
+		e.Reads = append(e.Reads, FReg(uint16(in.Rs2&^1)), FReg(uint16(in.Rs2|1)))
+		e.Writes = append(e.Writes, FReg(uint16(in.Rd)))
+
+	case OpFSTOD:
+		e.Reads = append(e.Reads, FReg(uint16(in.Rs2)))
+		e.Writes = append(e.Writes, FReg(uint16(in.Rd&^1)), FReg(uint16(in.Rd|1)))
+
+	case OpFADDS, OpFSUBS, OpFMULS, OpFDIVS:
+		e.Reads = append(e.Reads, FReg(uint16(in.Rs1)), FReg(uint16(in.Rs2)))
+		e.Writes = append(e.Writes, FReg(uint16(in.Rd)))
+
+	case OpFADDD, OpFSUBD, OpFMULD, OpFDIVD:
+		e.Reads = append(e.Reads,
+			FReg(uint16(in.Rs1&^1)), FReg(uint16(in.Rs1|1)),
+			FReg(uint16(in.Rs2&^1)), FReg(uint16(in.Rs2|1)))
+		e.Writes = append(e.Writes, FReg(uint16(in.Rd&^1)), FReg(uint16(in.Rd|1)))
+
+	case OpFCMPS:
+		e.Reads = append(e.Reads, FReg(uint16(in.Rs1)), FReg(uint16(in.Rs2)))
+		e.Writes = append(e.Writes, fcc)
+
+	case OpFCMPD:
+		e.Reads = append(e.Reads,
+			FReg(uint16(in.Rs1&^1)), FReg(uint16(in.Rs1|1)),
+			FReg(uint16(in.Rs2&^1)), FReg(uint16(in.Rs2|1)))
+		e.Writes = append(e.Writes, fcc)
+	}
+	return e
+}

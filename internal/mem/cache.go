@@ -1,0 +1,138 @@
+package mem
+
+import "fmt"
+
+// CacheConfig describes a set-associative cache timing model.
+type CacheConfig struct {
+	SizeBytes   int  // total capacity
+	LineBytes   int  // line size (power of two)
+	Assoc       int  // ways per set
+	MissPenalty int  // extra cycles charged on a miss
+	Perfect     bool // if set, every access hits (paper's ideal-cache runs)
+}
+
+// Validate checks structural parameters.
+func (c CacheConfig) Validate() error {
+	if c.Perfect {
+		return nil
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: line size %d not a power of two", c.LineBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("mem: associativity %d invalid", c.Assoc)
+	}
+	if c.SizeBytes < c.LineBytes*c.Assoc {
+		return fmt.Errorf("mem: size %d too small for %d-way %d-byte lines",
+			c.SizeBytes, c.Assoc, c.LineBytes)
+	}
+	return nil
+}
+
+// Cache is a set-associative LRU cache timing model. It tracks tags only;
+// data stays in Memory.
+type Cache struct {
+	cfg      CacheConfig
+	sets     int
+	lineBits uint
+	tags     []uint32 // sets*assoc entries; tag = addr >> lineBits
+	valid    []bool
+	lru      []uint32 // per-entry LRU stamp
+	clock    uint32
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache from cfg. A Perfect cfg yields a cache whose
+// Access always returns 0.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg}
+	if cfg.Perfect {
+		return c, nil
+	}
+	for 1<<c.lineBits < cfg.LineBytes {
+		c.lineBits++
+	}
+	c.sets = cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	if c.sets == 0 {
+		c.sets = 1
+	}
+	n := c.sets * cfg.Assoc
+	c.tags = make([]uint32, n)
+	c.valid = make([]bool, n)
+	c.lru = make([]uint32, n)
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access touches addr and returns the penalty cycles (0 on hit,
+// MissPenalty on miss, filling the line).
+func (c *Cache) Access(addr uint32) int {
+	c.Accesses++
+	if c.cfg.Perfect {
+		return 0
+	}
+	c.clock++
+	tag := addr >> c.lineBits
+	set := int(tag) % c.sets
+	base := set * c.cfg.Assoc
+	victim := base
+	for i := 0; i < c.cfg.Assoc; i++ {
+		e := base + i
+		if c.valid[e] && c.tags[e] == tag {
+			c.lru[e] = c.clock
+			return 0
+		}
+		if !c.valid[victim] {
+			continue
+		}
+		if !c.valid[e] || c.lru[e] < c.lru[victim] {
+			victim = e
+		}
+	}
+	c.Misses++
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.lru[victim] = c.clock
+	return c.cfg.MissPenalty
+}
+
+// Invalidate drops every line overlapping [addr, addr+size).
+func (c *Cache) Invalidate(addr, size uint32) {
+	if c.cfg.Perfect {
+		return
+	}
+	first := addr >> c.lineBits
+	last := (addr + size - 1) >> c.lineBits
+	for t := first; t <= last; t++ {
+		set := int(t) % c.sets
+		base := set * c.cfg.Assoc
+		for i := 0; i < c.cfg.Assoc; i++ {
+			if c.valid[base+i] && c.tags[base+i] == t {
+				c.valid[base+i] = false
+			}
+		}
+	}
+}
+
+// MissRate returns misses/accesses (0 when unused).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.Accesses, c.Misses, c.clock = 0, 0, 0
+}

@@ -1,0 +1,188 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 0x100)
+	f := func(off uint16, v uint32) bool {
+		addr := 0x1000 + uint32(off%0xF0)
+		if err := m.Write(addr, v, 4); err != nil {
+			return false
+		}
+		got, err := m.Read(addr, 4)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryBigEndian(t *testing.T) {
+	m := NewMemory()
+	m.Map(0, 16)
+	if err := m.WriteWord(0, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	b0, _ := m.ByteAt(0)
+	b3, _ := m.ByteAt(3)
+	if b0 != 0x11 || b3 != 0x44 {
+		t.Fatalf("endianness: %#x %#x", b0, b3)
+	}
+	h, _ := m.Read(2, 2)
+	if h != 0x3344 {
+		t.Fatalf("half = %#x", h)
+	}
+}
+
+func TestMemoryFaults(t *testing.T) {
+	m := NewMemory()
+	if _, err := m.Read(0xdead0000, 4); err == nil {
+		t.Error("read of unmapped memory should fault")
+	}
+	if err := m.Write(0xdead0000, 1, 1); err == nil {
+		t.Error("write of unmapped memory should fault")
+	}
+	var fe *FaultError
+	_, err := m.Read(0x1234, 1)
+	if fe, _ = err.(*FaultError); fe == nil || fe.Addr != 0x1234 {
+		t.Errorf("fault error: %v", err)
+	}
+}
+
+func TestMemoryCrossPage(t *testing.T) {
+	m := NewMemory()
+	m.Map(0xFFC, 8) // spans a 4K page boundary
+	if err := m.WriteWord(0xFFE, 0xAABBCCDD); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadWord(0xFFE)
+	if err != nil || v != 0xAABBCCDD {
+		t.Fatalf("cross-page: %#x %v", v, err)
+	}
+}
+
+func TestSnapshotEqualFirstDiff(t *testing.T) {
+	m := NewMemory()
+	m.LoadBytes(0x2000, []byte{1, 2, 3, 4})
+	c := m.Snapshot()
+	if !m.Equal(c) {
+		t.Fatal("snapshot not equal")
+	}
+	if _, diff := m.FirstDiff(c); diff {
+		t.Fatal("FirstDiff on equal memories")
+	}
+	if err := c.SetByte(0x2002, 9); err != nil {
+		t.Fatal(err)
+	}
+	if m.Equal(c) {
+		t.Fatal("diff not detected")
+	}
+	addr, diff := m.FirstDiff(c)
+	if !diff || addr != 0x2002 {
+		t.Fatalf("FirstDiff = %#x, %v", addr, diff)
+	}
+	// Zero page vs unmapped page compare equal.
+	z := NewMemory()
+	z.Map(0x5000, 16)
+	if !z.Equal(NewMemory()) {
+		t.Fatal("zero page should equal unmapped")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c, err := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 32, Assoc: 2, MissPenalty: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := c.Access(0x100); p != 8 {
+		t.Fatalf("first access penalty %d", p)
+	}
+	if p := c.Access(0x104); p != 0 {
+		t.Fatalf("same-line hit penalty %d", p)
+	}
+	if p := c.Access(0x100 + 32); p != 8 {
+		t.Fatalf("next line penalty %d", p)
+	}
+	if c.Misses != 2 || c.Accesses != 3 {
+		t.Fatalf("stats: %d/%d", c.Misses, c.Accesses)
+	}
+	if r := c.MissRate(); r < 0.6 || r > 0.7 {
+		t.Fatalf("miss rate %f", r)
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	// 2 sets x 2 ways x 32B lines = 128 bytes. Addresses mapping to set 0:
+	// multiples of 64.
+	c, err := NewCache(CacheConfig{SizeBytes: 128, LineBytes: 32, Assoc: 2, MissPenalty: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, d := uint32(0), uint32(64), uint32(128)
+	c.Access(a) // miss
+	c.Access(b) // miss
+	c.Access(a) // hit, a most recent
+	c.Access(d) // miss, evicts b (LRU)
+	if p := c.Access(a); p != 0 {
+		t.Error("a should still hit")
+	}
+	if p := c.Access(b); p != 1 {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCachePerfect(t *testing.T) {
+	c, err := NewCache(CacheConfig{Perfect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 100; i++ {
+		if c.Access(i*4096) != 0 {
+			t.Fatal("perfect cache missed")
+		}
+	}
+	if c.Misses != 0 {
+		t.Fatal("perfect cache counted misses")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c, err := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 32, Assoc: 2, MissPenalty: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0x200)
+	c.Invalidate(0x200, 4)
+	if p := c.Access(0x200); p != 5 {
+		t.Error("invalidated line should miss")
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 1024, LineBytes: 33, Assoc: 1},
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 0},
+		{SizeBytes: 16, LineBytes: 32, Assoc: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewCache(cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c, _ := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 32, Assoc: 1, MissPenalty: 3})
+	c.Access(0x40)
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Fatal("stats not reset")
+	}
+	if p := c.Access(0x40); p != 3 {
+		t.Fatal("contents not reset")
+	}
+}

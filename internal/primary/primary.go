@@ -1,0 +1,159 @@
+// Package primary models the timing of the DTSVLIW Primary Processor
+// (paper Table 1): a simple four-stage pipeline (fetch, decode, execute,
+// write back) with no branch prediction hardware. Not-taken conditional
+// branches cost a 3-cycle bubble; an instruction consuming the result of
+// the immediately preceding load costs a 1-cycle bubble. Functional
+// execution happens elsewhere (package arch); this package only prices
+// each instruction in cycles.
+package primary
+
+import "dtsvliw/internal/isa"
+
+// Config holds the pipeline's bubble costs.
+type Config struct {
+	NotTakenBranchBubble int // cycles lost on a not-taken conditional branch
+	LoadUseBubble        int // cycles lost using a load result immediately
+
+	// LoadLatency/FPLatency/FPDivLatency (values > 1) switch the hazard
+	// model from the Table 1 one-cycle load-use bubble to a general
+	// scoreboard: a consumer of an L-cycle producer stalls until the
+	// result is ready (multicycle extension).
+	LoadLatency  int
+	FPLatency    int
+	FPDivLatency int
+}
+
+// multicycle reports whether the general scoreboard is active.
+func (c Config) multicycle() bool {
+	return c.LoadLatency > 1 || c.FPLatency > 1 || c.FPDivLatency > 1
+}
+
+func (c Config) latencyOf(in *isa.Inst) int {
+	l := 1
+	switch in.LatencyClass() {
+	case isa.LatLoad:
+		l = c.LoadLatency
+	case isa.LatFP:
+		l = c.FPLatency
+	case isa.LatFPDiv:
+		l = c.FPDivLatency
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// DefaultConfig returns the paper's Table 1 parameters.
+func DefaultConfig() Config {
+	return Config{NotTakenBranchBubble: 3, LoadUseBubble: 1}
+}
+
+// Pipeline prices instructions. The zero value with a zero Config models
+// an ideal single-cycle machine.
+type Pipeline struct {
+	cfg Config
+
+	prevWasLoad bool
+	prevDests   []isa.Loc
+
+	// scoreboard (multicycle mode): in-flight results and when they are
+	// ready, in pipeline time.
+	now      uint64
+	inflight []flight
+
+	Cycles       uint64
+	Bubbles      uint64
+	BranchStalls uint64
+	LoadStalls   uint64
+}
+
+type flight struct {
+	locs    []isa.Loc
+	readyAt uint64
+}
+
+// New builds a Primary Processor timing model.
+func New(cfg Config) *Pipeline { return &Pipeline{cfg: cfg} }
+
+// Price returns the cycle cost of one instruction, given its decoded form,
+// dependency effects and outcome. Cache penalties are charged by the
+// caller.
+func (p *Pipeline) Price(in *isa.Inst, eff isa.Effects, out isa.Outcome) int {
+	if p.cfg.multicycle() {
+		return p.priceScoreboard(in, eff, out)
+	}
+	cycles := 1
+	if p.prevWasLoad && overlap(eff.Reads, p.prevDests) {
+		cycles += p.cfg.LoadUseBubble
+		p.LoadStalls++
+		p.Bubbles += uint64(p.cfg.LoadUseBubble)
+	}
+	if in.IsCondBranch() && !out.Taken {
+		cycles += p.cfg.NotTakenBranchBubble
+		p.BranchStalls++
+		p.Bubbles += uint64(p.cfg.NotTakenBranchBubble)
+	}
+	p.prevWasLoad = in.IsLoad()
+	if p.prevWasLoad {
+		p.prevDests = append(p.prevDests[:0], eff.Writes...)
+	}
+	p.Cycles += uint64(cycles)
+	return cycles
+}
+
+// priceScoreboard is the multicycle hazard model: the instruction issues
+// when its operands' producers have completed.
+func (p *Pipeline) priceScoreboard(in *isa.Inst, eff isa.Effects, out isa.Outcome) int {
+	issue := p.now + 1
+	keep := p.inflight[:0]
+	for _, f := range p.inflight {
+		if f.readyAt <= p.now {
+			continue // retired
+		}
+		if overlap(eff.Reads, f.locs) && f.readyAt > issue {
+			issue = f.readyAt
+		}
+		keep = append(keep, f)
+	}
+	p.inflight = keep
+	stall := int(issue - (p.now + 1))
+	if stall > 0 {
+		p.LoadStalls++
+		p.Bubbles += uint64(stall)
+	}
+	cycles := 1 + stall
+	if in.IsCondBranch() && !out.Taken {
+		cycles += p.cfg.NotTakenBranchBubble
+		p.BranchStalls++
+		p.Bubbles += uint64(p.cfg.NotTakenBranchBubble)
+	}
+	p.now += uint64(cycles)
+	if l := p.cfg.latencyOf(in); l > 1 && len(eff.Writes) > 0 {
+		p.inflight = append(p.inflight, flight{
+			locs:    append([]isa.Loc(nil), eff.Writes...),
+			readyAt: p.now + uint64(l) - 1,
+		})
+	}
+	p.Cycles += uint64(cycles)
+	return cycles
+}
+
+// FlushState clears hazard tracking (used across engine switches, whose
+// refill cost is charged separately).
+func (p *Pipeline) FlushState() {
+	p.prevWasLoad = false
+	p.prevDests = p.prevDests[:0]
+	p.inflight = p.inflight[:0]
+}
+
+func overlap(a, b []isa.Loc) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Overlaps(y) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,261 @@
+// Package progen generates random, terminating SPARC V7 programs for
+// property-based testing. Every generated program halts with a checksum,
+// and its sequential execution is the oracle: the lockstep test machine
+// must agree with the DTSVLIW at every synchronisation point.
+//
+// The generator deliberately produces the hazards the DTSVLIW must handle:
+// tight dependence chains, store/load pairs whose addresses collide only
+// on some paths (aliasing), deeply nested counted loops (trace reuse and
+// exits), calls through register windows, condition-code recycling,
+// floating-point flows, and non-schedulable trap instructions that flush
+// the scheduling list.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Params controls generation.
+type Params struct {
+	Seed     int64
+	Items    int // top-level statement budget
+	MaxDepth int // loop/call nesting bound
+	// Mem enables load/store generation; FP enables floating point;
+	// Calls enables function calls; Traps enables putchar traps.
+	Mem, FP, Calls, Traps bool
+}
+
+// DefaultParams returns a balanced workload for the given seed.
+func DefaultParams(seed int64) Params {
+	return Params{Seed: seed, Items: 40, MaxDepth: 3, Mem: true, FP: true, Calls: true, Traps: true}
+}
+
+type gen struct {
+	rng     *rand.Rand
+	p       Params
+	b       strings.Builder
+	label   int
+	funcs   []string // generated function labels
+	funcSrc strings.Builder
+}
+
+// Generate produces the assembly source of a random terminating program.
+func Generate(p Params) string {
+	g := &gen{rng: rand.New(rand.NewSource(p.Seed)), p: p}
+	return g.program()
+}
+
+// Scratch integer registers usable inside one window. %l4..%l7 are loop
+// counters (one per nesting depth), %g6/%g7 are address scratch, %o6/%o7
+// and %i6/%i7 are stack/return linkage.
+var pool = []string{"%g1", "%g2", "%g3", "%g4", "%o0", "%o1", "%o2", "%o3", "%o4", "%o5",
+	"%l0", "%l1", "%l2", "%l3", "%i0", "%i1", "%i2", "%i3", "%i4", "%i5"}
+
+func (g *gen) reg() string { return pool[g.rng.Intn(len(pool))] }
+
+func (g *gen) newLabel(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s_%d", prefix, g.label)
+}
+
+func (g *gen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, "\t"+format+"\n", args...)
+}
+
+func (g *gen) program() string {
+	g.b.WriteString("\t.data 0x40000\nbuf:\t.space 256\nfbuf:")
+	for i := 0; i < 16; i++ {
+		fmt.Fprintf(&g.b, "\t.word %#x\n", g.rng.Uint32()&0x3FFFFFFF|0x3F000000)
+	}
+	g.b.WriteString("\t.text 0x1000\nstart:\n")
+	// Seed registers with deterministic junk.
+	for _, r := range pool {
+		g.emit("set %d, %s", g.rng.Int31n(1<<20), r)
+	}
+	g.emit("set buf, %%g6")
+	if g.p.FP {
+		g.emit("set fbuf, %%g7")
+		for i := 0; i < 8; i += 2 {
+			g.emit("ldf [%%g7+%d], %%f%d", 4*i, i)
+		}
+	}
+	// Pre-generate callable functions so calls have targets.
+	if g.p.Calls {
+		for i := 0; i < 3; i++ {
+			g.genFunc(i)
+		}
+	}
+	for i := 0; i < g.p.Items; i++ {
+		g.item(0)
+	}
+	// Checksum: fold the register pool into %o0 and exit.
+	g.emit("mov 0, %%o0")
+	for _, r := range pool[:8] {
+		g.emit("xor %%o0, %s, %%o0", r)
+	}
+	g.emit("ta 0")
+	g.b.WriteString(g.funcSrc.String())
+	return g.b.String()
+}
+
+// item emits one random statement at the given nesting depth.
+func (g *gen) item(depth int) {
+	roll := g.rng.Intn(100)
+	switch {
+	case roll < 40:
+		g.alu()
+	case roll < 60 && g.p.Mem:
+		g.memOp()
+	case roll < 68:
+		g.condSkip(depth)
+	case roll < 80 && depth < g.p.MaxDepth:
+		g.loop(depth)
+	case roll < 86 && g.p.Calls && depth < g.p.MaxDepth:
+		g.emit("call fn_%d", g.rng.Intn(3))
+		g.emit("nop")
+	case roll < 90 && g.p.FP:
+		g.fpOp()
+	case roll < 93 && g.p.Traps:
+		g.emit("and %s, 63, %%o0", g.reg())
+		g.emit("add %%o0, 48, %%o0")
+		g.emit("ta 1")
+	case roll < 96:
+		g.emit("nop")
+	default:
+		g.mulStep()
+	}
+}
+
+// alu emits a random integer ALU instruction.
+func (g *gen) alu() {
+	ops := []string{"add", "sub", "and", "or", "xor", "andn", "orn", "xnor",
+		"addcc", "subcc", "andcc", "orcc", "xorcc", "sll", "srl", "sra",
+		"addx", "subx"}
+	op := ops[g.rng.Intn(len(ops))]
+	rd := g.reg()
+	rs1 := g.reg()
+	if g.rng.Intn(2) == 0 {
+		imm := g.rng.Int31n(256)
+		if strings.HasPrefix(op, "s") && (op[1] == 'l' || op[1] == 'r') {
+			imm = g.rng.Int31n(32)
+		}
+		g.emit("%s %s, %d, %s", op, rs1, imm, rd)
+	} else {
+		g.emit("%s %s, %s, %s", op, rs1, g.reg(), rd)
+	}
+}
+
+// memOp emits a load or store confined to buf, with data-dependent
+// addressing so schedule-time and run-time addresses can differ. The
+// address register is drawn from the pool so that independent memory
+// operations can be reordered by the scheduler (the precondition for
+// runtime aliasing).
+func (g *gen) memOp() {
+	sizes := []struct {
+		ld, st string
+		mask   int
+	}{{"ld", "st", 0xFC}, {"ldub", "stb", 0xFF}, {"lduh", "sth", 0xFE}, {"ldsb", "stb", 0xFF}, {"ldsh", "sth", 0xFE}}
+	sz := sizes[g.rng.Intn(len(sizes))]
+	ra := g.reg()
+	if g.rng.Intn(3) == 0 {
+		// Fixed offset: collides with data-dependent addresses sometimes.
+		g.emit("mov %d, %s", int(g.rng.Int31n(64))&sz.mask, ra)
+	} else {
+		g.emit("and %s, %#x, %s", g.reg(), sz.mask, ra)
+	}
+	if g.rng.Intn(2) == 0 {
+		g.emit("%s [%%g6+%s], %s", sz.ld, ra, g.reg())
+	} else {
+		g.emit("%s %s, [%%g6+%s]", sz.st, g.reg(), ra)
+	}
+}
+
+// condSkip emits a compare and a conditional forward branch over a few
+// instructions.
+func (g *gen) condSkip(depth int) {
+	conds := []string{"e", "ne", "g", "le", "ge", "l", "gu", "leu", "cc", "cs", "pos", "neg"}
+	lbl := g.newLabel("skip")
+	g.emit("cmp %s, %s", g.reg(), g.reg())
+	g.emit("b%s %s", conds[g.rng.Intn(len(conds))], lbl)
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		g.alu()
+	}
+	g.b.WriteString(lbl + ":\n")
+}
+
+// loop emits a counted loop using the per-depth counter register.
+func (g *gen) loop(depth int) {
+	ctr := fmt.Sprintf("%%l%d", 4+depth)
+	lbl := g.newLabel("loop")
+	iters := 1 + g.rng.Intn(6)
+	g.emit("mov %d, %s", iters, ctr)
+	g.b.WriteString(lbl + ":\n")
+	n := 1 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		g.item(depth + 1)
+	}
+	g.emit("subcc %s, 1, %s", ctr, ctr)
+	g.emit("bg %s", lbl)
+}
+
+// fpOp emits floating-point arithmetic over %f0..%f7 plus an fcc branch.
+func (g *gen) fpOp() {
+	ops := []string{"fadds", "fsubs", "fmuls"}
+	f := func() int { return g.rng.Intn(8) }
+	g.emit("%s %%f%d, %%f%d, %%f%d", ops[g.rng.Intn(len(ops))], f(), f(), f())
+	if g.rng.Intn(3) == 0 {
+		lbl := g.newLabel("fskip")
+		g.emit("fcmps %%f%d, %%f%d", f(), f())
+		fconds := []string{"e", "ne", "l", "g", "le", "ge"}
+		g.emit("fb%s %s", fconds[g.rng.Intn(len(fconds))], lbl)
+		g.alu()
+		g.b.WriteString(lbl + ":\n")
+	}
+	if g.rng.Intn(4) == 0 {
+		g.emit("fstoi %%f%d, %%f%d", f(), f())
+		g.emit("fitos %%f%d, %%f%d", f(), f())
+	}
+}
+
+// mulStep emits a short multiply-step sequence exercising the Y register.
+func (g *gen) mulStep() {
+	g.emit("wr %s, 0, %%y", g.reg())
+	g.emit("andcc %%g0, 0, %%g0")
+	rd := g.reg()
+	for i := 0; i < 2+g.rng.Intn(3); i++ {
+		g.emit("mulscc %s, %s, %s", rd, g.reg(), rd)
+	}
+	g.emit("rd %%y, %s", g.reg())
+}
+
+// genFunc emits one callable function with a random body. Functions use a
+// fresh register window, may call lower-numbered functions, and return
+// through %i7.
+func (g *gen) genFunc(idx int) {
+	old := g.b
+	g.b = strings.Builder{}
+	fmt.Fprintf(&g.b, "fn_%d:\n", idx)
+	g.emit("save %%sp, -96, %%sp")
+	n := 2 + g.rng.Intn(5)
+	for i := 0; i < n; i++ {
+		roll := g.rng.Intn(10)
+		switch {
+		case roll < 5:
+			g.alu()
+		case roll < 7 && g.p.Mem:
+			g.memOp()
+		case roll < 8 && idx > 0:
+			g.emit("call fn_%d", g.rng.Intn(idx))
+			g.emit("nop")
+		default:
+			g.condSkip(g.p.MaxDepth)
+		}
+	}
+	g.emit("restore %%o0, 0, %%o0")
+	g.emit("retl")
+	g.funcSrc.WriteString(g.b.String())
+	g.b = old
+}

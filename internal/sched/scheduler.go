@@ -1,0 +1,617 @@
+package sched
+
+import (
+	"fmt"
+
+	"dtsvliw/internal/isa"
+)
+
+// element is one scheduling-list entry: one long instruction under
+// construction. The candidate-instruction machinery of the hardware is
+// simulated by the insertion-time journey in Insert; settled slots are
+// "installed" in the paper's sense.
+type element struct {
+	slots    []*Slot
+	branches uint8 // conditional/indirect branches placed (tag counter)
+}
+
+func (e *element) hasStoreOrMemCopy() bool {
+	for _, s := range e.slots {
+		if s == nil {
+			continue
+		}
+		if s.IsStore && !s.MemRenamed {
+			return true
+		}
+		if s.IsCopy {
+			for _, c := range s.Copies {
+				if c.Loc.Kind == isa.LocMem {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (e *element) hasLoad() bool {
+	for _, s := range e.slots {
+		if s != nil && !s.IsCopy && s.IsMem && !s.IsStore {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *element) hasCondOrIndirectBranch() bool {
+	for _, s := range e.slots {
+		if s != nil && s.IsCondOrIndirectBranch() {
+			return true
+		}
+	}
+	return false
+}
+
+// Scheduler is the Scheduler Unit. Feed it Completed instructions with
+// Insert; it returns finished Blocks when the scheduling list fills. Use
+// Flush for externally triggered flushes (VLIW Cache hit, non-schedulable
+// instruction).
+type Scheduler struct {
+	cfg   Config
+	elems []*element // index 0 is the scheduling-list head
+
+	blockTag   uint32
+	blockCWP   uint8
+	blockSeq   uint64
+	haveTag    bool
+	renUsed    [NumRenameClasses]uint16
+	order      uint16
+	splits     int
+	currentCon bool
+
+	// renameMap tracks, per architectural location, the renaming register
+	// holding its newest value within the current block, so that later
+	// consumers read the renaming register directly (paper Figure 2).
+	// Memory locations are never forwarded (loads depend on the memory
+	// copy instead).
+	renameMap map[isa.Loc]RenameReg
+
+	// conservative holds block tags (address plus entry window pointer)
+	// that must be scheduled without load/store reordering after an
+	// aliasing exception (paper §3.11).
+	conservative map[uint64]bool
+
+	Stats Stats
+}
+
+// New builds a Scheduler Unit.
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{cfg: cfg, conservative: make(map[uint64]bool)}, nil
+}
+
+// Config returns the scheduler's configuration.
+func (u *Scheduler) Config() Config { return u.cfg }
+
+// Empty reports whether the scheduling list has no active elements.
+func (u *Scheduler) Empty() bool { return len(u.elems) == 0 }
+
+// Len returns the number of active scheduling-list elements.
+func (u *Scheduler) Len() int { return len(u.elems) }
+
+// MarkConservative requests conservative (in-order memory) scheduling for
+// the block starting at tag with entry window pointer cwp, after an
+// aliasing exception invalidated it.
+func (u *Scheduler) MarkConservative(tag uint32, cwp uint8) {
+	u.conservative[conKey(tag, cwp)] = true
+}
+
+func conKey(tag uint32, cwp uint8) uint64 { return uint64(tag)<<8 | uint64(cwp) }
+
+// newElement appends a scheduling-list element.
+func (u *Scheduler) newElement() *element {
+	e := &element{slots: make([]*Slot, u.cfg.Width)}
+	u.elems = append(u.elems, e)
+	return e
+}
+
+// freeSlot returns the index of a free slot in e compatible with class cl,
+// or -1.
+func (u *Scheduler) freeSlot(e *element, cl isa.FUClass) int {
+	for i, s := range e.slots {
+		if s == nil && u.cfg.slotAccepts(i, cl) {
+			return i
+		}
+	}
+	return -1
+}
+
+// overlapAny reports whether any location in a overlaps any in b.
+func overlapAny(a, b []isa.Loc) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Overlaps(y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// conflictingWrites returns the candidate write locations that overlap
+// locs.
+func conflictingWrites(cand *Slot, locs []isa.Loc) []isa.Loc {
+	var out []isa.Loc
+	for _, w := range cand.writes {
+		for _, l := range locs {
+			if w.Overlaps(l) {
+				out = append(out, w)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// elemReads/elemWrites gather footprints of installed slots, excluding the
+// candidate's own slot index (the hardware disables the comparators of the
+// companion slot, paper §3.7).
+func elemReads(e *element, exclude int) []isa.Loc {
+	var out []isa.Loc
+	for i, s := range e.slots {
+		if s == nil || i == exclude {
+			continue
+		}
+		out = append(out, s.reads...)
+	}
+	return out
+}
+
+func elemWrites(e *element, exclude int) []isa.Loc {
+	var out []isa.Loc
+	for i, s := range e.slots {
+		if s == nil || i == exclude {
+			continue
+		}
+		out = append(out, s.writes...)
+	}
+	return out
+}
+
+// trueDepBlocked reports whether the candidate may not occupy element
+// target: a producer in element j whose result arrives after target
+// (j + latency > target) writes one of the candidate's read locations.
+// With all latencies 1 this reduces to the paper's check against the
+// single element above (multicycle extension, companion study [14]).
+func (u *Scheduler) trueDepBlocked(cand *Slot, target int) bool {
+	lo := target - u.cfg.MaxLatency() + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for j := lo; j <= target && j < len(u.elems); j++ {
+		for _, w := range u.elems[j].slots {
+			if w == nil || w == cand || j+w.LatOr1() <= target {
+				continue
+			}
+			if overlapAny(cand.reads, w.writes) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// horizonOutputConflicts returns the candidate's write locations that
+// collide with an in-flight producer whose completion would land at or
+// after the candidate's (write-ordering hazard); such outputs must be
+// renamed by a split.
+func (u *Scheduler) horizonOutputConflicts(cand *Slot, target int) []isa.Loc {
+	lo := target - u.cfg.MaxLatency() + 1
+	if lo < 0 {
+		lo = 0
+	}
+	var locs []isa.Loc
+	for j := lo; j <= target && j < len(u.elems); j++ {
+		for _, w := range u.elems[j].slots {
+			if w == nil || w == cand || j+w.LatOr1() <= target {
+				continue
+			}
+			locs = append(locs, w.writes...)
+		}
+	}
+	return conflictingWrites(cand, locs)
+}
+
+// memSerialized reports whether conservative scheduling forces an order
+// dependency between the candidate and element e: after an aliasing
+// exception the block keeps its loads and stores in insertion order by
+// treating every memory pair as dependent (paper §3.11).
+func (u *Scheduler) memSerialized(cand *Slot, e *element, exclude int) bool {
+	if !u.currentCon || cand.IsCopy || !cand.IsMem {
+		return false
+	}
+	for i, s := range e.slots {
+		if s == nil || i == exclude {
+			continue
+		}
+		if s.IsMem || (s.IsCopy && hasMemCopy(s)) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMemCopy(s *Slot) bool {
+	for _, c := range s.Copies {
+		if c.Loc.Kind == isa.LocMem {
+			return true
+		}
+	}
+	return false
+}
+
+// buildSlot constructs the Slot for a completed instruction, rewriting
+// source operands whose newest in-block value lives in a renaming
+// register, and retiring rename bindings superseded by this instruction's
+// architectural writes.
+func (u *Scheduler) buildSlot(c Completed) *Slot {
+	s := &Slot{
+		Inst: c.Inst,
+		Addr: c.Addr,
+		CWP:  c.CWP,
+		Seq:  c.Seq,
+		Lat:  u.cfg.latencyOf(&c.Inst),
+	}
+	eff := c.Inst.Effects(c.CWP, u.cfg.NWin, c.Outcome.EA)
+	s.reads = eff.Reads
+	s.writes = eff.Writes
+	if len(u.renameMap) > 0 && !u.cfg.NoForwarding {
+		for i, r := range s.reads {
+			if r.Kind == isa.LocMem {
+				continue
+			}
+			if reg, ok := u.renameMap[r]; ok {
+				s.reads[i] = RenLoc(reg)
+				s.SrcRenames = append(s.SrcRenames, RenamePair{Loc: r, Reg: reg})
+			}
+		}
+		for _, w := range s.writes {
+			delete(u.renameMap, w)
+		}
+	}
+	if c.Inst.IsMem() {
+		s.IsMem = true
+		s.IsStore = c.Inst.IsStore()
+		s.MemAddr = c.Outcome.EA
+		s.MemSize = c.Inst.MemSize()
+	}
+	if c.Inst.IsCondBranch() || c.Inst.IsIndirectBranch() {
+		s.BrTaken = c.Outcome.Taken
+		s.BrTarget = c.Outcome.Target
+	}
+	return s
+}
+
+// cohabitCross updates the candidate's sticky cross bit on entering
+// element e (paper §3.10; see DESIGN.md §5 for the store/load extension).
+func cohabitCross(cand *Slot, e *element) {
+	if !cand.IsMem || cand.Cross {
+		return
+	}
+	if e.hasStoreOrMemCopy() {
+		cand.Cross = true
+		return
+	}
+	if cand.IsStore && e.hasLoad() {
+		cand.Cross = true
+	}
+}
+
+// place puts cand into a free slot of e with the element's current tag.
+func (u *Scheduler) place(cand *Slot, e *element) int {
+	idx := u.freeSlot(e, cand.Inst.Class())
+	e.slots[idx] = cand
+	cand.Tag = e.branches
+	if cand.IsCondOrIndirectBranch() {
+		e.branches++
+	}
+	cohabitCross(cand, e)
+	return idx
+}
+
+// allocRename allocates a fresh renaming register for an architectural
+// location.
+func (u *Scheduler) allocRename(l isa.Loc) RenameReg {
+	cl := classOf(l)
+	r := RenameReg{Class: cl, Idx: u.renUsed[cl]}
+	u.renUsed[cl]++
+	if u.renUsed[cl] > u.Stats.MaxRenames[cl] {
+		u.Stats.MaxRenames[cl] = u.renUsed[cl]
+	}
+	return r
+}
+
+// split renames the given outputs of cand and installs a copy instruction
+// in cand's current slot of element e (paper §3.2). The copy keeps the
+// element's current tag position and, for memory, the candidate's order
+// and address for aliasing checks.
+func (u *Scheduler) split(cand *Slot, e *element, slotIdx int, conflicted []isa.Loc) {
+	copySlot := &Slot{
+		Inst:   cand.Inst,
+		Addr:   cand.Addr,
+		CWP:    cand.CWP,
+		Seq:    cand.Seq,
+		Tag:    cand.Tag,
+		IsCopy: true,
+	}
+	var remaining []isa.Loc
+	for _, w := range cand.writes {
+		conflict := w.Kind != isa.LocRen
+		if conflict {
+			conflict = false
+			for _, cw := range conflicted {
+				if w == cw {
+					conflict = true
+					break
+				}
+			}
+		}
+		if !conflict {
+			remaining = append(remaining, w)
+			continue
+		}
+		reg := u.allocRename(w)
+		cand.Renames = append(cand.Renames, RenamePair{Loc: w, Reg: reg})
+		copySlot.Copies = append(copySlot.Copies, RenamePair{Loc: w, Reg: reg})
+		copySlot.reads = append(copySlot.reads, RenLoc(reg))
+		if w.Kind != isa.LocMem && !u.cfg.NoForwarding {
+			u.renameMap[w] = reg
+			remaining = append(remaining, RenLoc(reg))
+		}
+		if w.Kind == isa.LocMem {
+			cand.MemRenamed = true
+			copySlot.IsMem = true
+			copySlot.IsStore = true
+			copySlot.MemAddr = cand.MemAddr
+			copySlot.MemSize = cand.MemSize
+			copySlot.Order = cand.Order
+			copySlot.Cross = cand.Cross
+		}
+		copySlot.writes = append(copySlot.writes, w)
+	}
+	cand.writes = remaining
+	e.slots[slotIdx] = copySlot
+	u.splits++
+	u.Stats.Splits++
+}
+
+// Insert feeds one completed instruction to the Scheduler Unit. If the
+// scheduling list is full, the current block is flushed and returned (its
+// NBA address field is the incoming instruction's address, which starts
+// the fall-through block, paper §3.3); the instruction then begins a new
+// block. Nops and unconditional direct branches are ignored (paper §3.9).
+// Non-schedulable instructions must be handled by the caller via Flush
+// before calling Insert.
+func (u *Scheduler) Insert(c Completed) (*Block, error) {
+	if c.Inst.IsNop() || c.Inst.IsUncondBranch() {
+		u.Stats.Ignored++
+		return nil, nil
+	}
+	if !c.Inst.IsSchedulable() {
+		return nil, fmt.Errorf("sched: non-schedulable %v at %#08x reached Insert", c.Inst.Op, c.Addr)
+	}
+
+	var flushed *Block
+	cand := u.buildSlot(c)
+
+	if len(u.elems) == 0 {
+		u.startBlock(c)
+		// Rename bindings never cross blocks: rebuild the slot against
+		// the fresh (empty) rename map.
+		cand = u.buildSlot(c)
+	} else {
+		tail := u.elems[len(u.elems)-1]
+		if u.needsNewElement(cand, tail) {
+			if len(u.elems) >= u.cfg.Height {
+				flushed = u.flush(c.Addr, c.Seq)
+				u.startBlock(c)
+				cand = u.buildSlot(c)
+			} else {
+				u.newElement()
+				// Multicycle producers may require further padding
+				// elements before the candidate's reads are satisfied.
+				for u.trueDepBlocked(cand, len(u.elems)-1) {
+					if len(u.elems) >= u.cfg.Height {
+						flushed = u.flush(c.Addr, c.Seq)
+						u.startBlock(c)
+						cand = u.buildSlot(c)
+						break
+					}
+					u.newElement()
+				}
+			}
+		}
+	}
+
+	if cand.IsMem {
+		cand.Order = u.order
+		u.order++
+	}
+
+	tailIdx := len(u.elems) - 1
+	slotIdx := u.place(cand, u.elems[tailIdx])
+	u.Stats.Inserted++
+
+	u.moveUp(cand, tailIdx, slotIdx)
+	return flushed, nil
+}
+
+// needsNewElement applies the insertion rule: a new tail element is needed
+// on a true dependency, an output dependency (two writes to one location
+// cannot share a long instruction), a resource shortage, or conservative
+// memory serialisation. Anti and control dependencies do not block
+// placement in the tail: the read-before-write long-instruction semantics
+// and the branch-tag system make such placement safe (paper §3.8). The
+// latency horizon covers in-flight multicycle producers.
+func (u *Scheduler) needsNewElement(cand *Slot, tail *element) bool {
+	if u.freeSlot(tail, cand.Inst.Class()) < 0 {
+		return true
+	}
+	t := len(u.elems) - 1
+	if u.trueDepBlocked(cand, t) {
+		return true
+	}
+	tw := elemWrites(tail, -1)
+	if overlapAny(cand.writes, tw) {
+		return true
+	}
+	return u.memSerialized(cand, tail, -1)
+}
+
+// moveUp walks the candidate up the scheduling list until installed,
+// applying the paper's install/split/move rules at each element boundary.
+func (u *Scheduler) moveUp(cand *Slot, elemIdx, slotIdx int) {
+	if cand.Inst.IsCTI() {
+		u.Stats.Installs++
+		return // control-transfer instructions never move (paper §3.8)
+	}
+	for elemIdx > 0 {
+		cur := u.elems[elemIdx]
+		prev := u.elems[elemIdx-1]
+
+		// Install on true dependency or resource dependency (paper §3.7:
+		// "if the install and the split signals are both true the
+		// respective candidate instruction is only installed"). The
+		// dependency horizon covers multicycle producers.
+		if u.trueDepBlocked(cand, elemIdx-1) ||
+			u.freeSlot(prev, cand.Inst.Class()) < 0 ||
+			u.memSerialized(cand, prev, -1) {
+			break
+		}
+
+		// Split on output dependency with i-1 (or any in-flight producer
+		// completing at/after the candidate), anti dependency with i, or
+		// control dependency with i (paper §3.2).
+		outConf := u.horizonOutputConflicts(cand, elemIdx-1)
+		antiConf := conflictingWrites(cand, elemReads(cur, slotIdx))
+		needAll := cur.hasCondOrIndirectBranch()
+		if len(outConf) > 0 || len(antiConf) > 0 || needAll {
+			var conflicted []isa.Loc
+			if needAll {
+				for _, w := range cand.writes {
+					if w.Kind != isa.LocRen {
+						conflicted = append(conflicted, w)
+					}
+				}
+			} else {
+				seen := map[isa.Loc]bool{}
+				for _, l := range append(outConf, antiConf...) {
+					if !seen[l] {
+						seen[l] = true
+						conflicted = append(conflicted, l)
+					}
+				}
+			}
+			if len(conflicted) > 0 {
+				u.split(cand, cur, slotIdx, conflicted)
+			} else {
+				// Nothing left to protect (all outputs already renamed):
+				// the move is safe without a new copy.
+				cur.slots[slotIdx] = nil
+			}
+		} else {
+			cur.slots[slotIdx] = nil
+		}
+
+		// Move into the previous element.
+		slotIdx = u.freeSlot(prev, cand.Inst.Class())
+		prev.slots[slotIdx] = cand
+		cand.Tag = prev.branches
+		cohabitCross(cand, prev)
+		elemIdx--
+		u.Stats.MoveUps++
+	}
+	u.Stats.Installs++
+}
+
+// startBlock begins a new block with c as its first instruction.
+func (u *Scheduler) startBlock(c Completed) {
+	u.newElement()
+	u.blockTag = c.Addr
+	u.blockCWP = c.CWP
+	u.blockSeq = c.Seq
+	u.haveTag = true
+	u.order = 0
+	u.splits = 0
+	u.renUsed = [NumRenameClasses]uint16{}
+	u.renameMap = make(map[isa.Loc]RenameReg)
+	u.currentCon = u.conservative[conKey(c.Addr, c.CWP)]
+	if u.currentCon {
+		u.Stats.ConservativeBl++
+	}
+}
+
+// Flush ends the block under construction and returns it, or nil if the
+// list is empty. nbaAddr is the SPARC address the block's next-block-
+// address store receives: the address of the next instruction in the
+// trace (on a VLIW Cache hit, the hit address, making the block point at
+// the hit block, paper §3.6). endSeq is the sequence number of the
+// instruction triggering the flush, which closes the block's trace span.
+func (u *Scheduler) Flush(nbaAddr uint32, endSeq uint64) *Block {
+	if len(u.elems) == 0 {
+		return nil
+	}
+	return u.flush(nbaAddr, endSeq)
+}
+
+func (u *Scheduler) flush(nbaAddr uint32, endSeq uint64) *Block {
+	b := &Block{
+		Tag:          u.blockTag,
+		EntryCWP:     u.blockCWP,
+		NumLIs:       len(u.elems),
+		NBA:          LongAddr{Addr: nbaAddr, Line: len(u.elems) - 1},
+		Renames:      u.renUsed,
+		Splits:       u.splits,
+		FirstSeq:     u.blockSeq,
+		EndSeq:       endSeq,
+		Conservative: u.currentCon,
+	}
+	b.LIs = make([][]*Slot, len(u.elems))
+	for i, e := range u.elems {
+		b.LIs[i] = e.slots
+		for _, s := range e.slots {
+			if s != nil {
+				b.ValidOps++
+			}
+		}
+	}
+	u.elems = nil
+	u.haveTag = false
+	u.Stats.BlocksFlushed++
+	u.Stats.FlushedLIs += uint64(b.NumLIs)
+	u.Stats.FlushedSlots += uint64(b.ValidOps)
+	return b
+}
+
+// Dump renders the scheduling list for debugging, in the style of the
+// paper's Figure 2c.
+func (u *Scheduler) Dump() string {
+	out := ""
+	for i, e := range u.elems {
+		prefix := "     "
+		if i == 0 {
+			prefix = "slh->"
+		}
+		if i == len(u.elems)-1 {
+			prefix = "slt->"
+		}
+		out += prefix
+		for _, s := range e.slots {
+			out += fmt.Sprintf(" | %-28s", s.String())
+		}
+		out += "\n"
+	}
+	return out
+}

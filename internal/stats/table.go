@@ -1,0 +1,107 @@
+// Package stats provides result tables for the experiment harness: plain
+// aligned text for the terminal and CSV for further processing.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of results.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; values are formatted with %v (floats with %.2f).
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, v := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], v)
+			} else {
+				b.WriteString(v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	rows := append([][]string{t.Columns}, t.Rows...)
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(esc(v))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Cell returns the value at (row, col), or "" when out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Rows[row]) {
+		return ""
+	}
+	return t.Rows[row][col]
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Columns: []string{"name", "ipc"},
+		Notes:   []string{"hello"},
+	}
+	tab.AddRow("compress", 2.345)
+	tab.AddRow("x", 1)
+	s := tab.String()
+	if !strings.Contains(s, "2.35") {
+		t.Errorf("float not rounded: %s", s)
+	}
+	if !strings.Contains(s, "note: hello") {
+		t.Errorf("note missing: %s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 6 { // title, rule, header, sep, 2 rows... + note = 7?
+		// title(1) + rule(1) + header(1) + sep(1) + rows(2) + note(1) = 7
+		if len(lines) != 7 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), s)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow(`x,"y`, 3)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,""y"`) {
+		t.Errorf("CSV escaping: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("CSV header: %s", csv)
+	}
+}
+
+func TestCell(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}}
+	tab.AddRow("v")
+	if tab.Cell(0, 0) != "v" || tab.Cell(1, 0) != "" || tab.Cell(0, 5) != "" {
+		t.Error("Cell bounds handling wrong")
+	}
+}

@@ -1,0 +1,157 @@
+// Package vcache implements the VLIW Cache (paper §3.4): a set-associative
+// cache whose line is one block of long instructions, tagged with the SPARC
+// ISA address of the first instruction placed in the block, with a next
+// block address (nba) store per line. Long instructions within a block are
+// addressed by {address field, line index} pairs.
+package vcache
+
+import (
+	"fmt"
+
+	"dtsvliw/internal/sched"
+)
+
+// Config sizes the VLIW Cache.
+type Config struct {
+	SizeKB int // total capacity in kilobytes
+	Assoc  int
+	// Width/Height of a block and DecodedBytes (paper Table 1: 6 bytes per
+	// decoded instruction) determine how many blocks fit.
+	Width, Height int
+	DecodedBytes  int // bytes per decoded instruction slot
+	NBABytes      int // bytes per nba store
+}
+
+// BlockBytes returns the line size of the cache in bytes.
+func (c Config) BlockBytes() int {
+	return c.Width*c.Height*c.DecodedBytes + c.NBABytes
+}
+
+// Blocks returns the number of block lines the cache holds.
+func (c Config) Blocks() int {
+	n := c.SizeKB * 1024 / c.BlockBytes()
+	if n < c.Assoc {
+		n = c.Assoc
+	}
+	return n
+}
+
+// Cache is the VLIW Cache.
+type Cache struct {
+	cfg   Config
+	sets  int
+	lines []line // sets*assoc
+	clock uint64
+
+	Hits       uint64
+	Misses     uint64
+	Stores     uint64 // blocks saved
+	Replaced   uint64 // valid blocks evicted
+	Invalidats uint64
+}
+
+type line struct {
+	valid bool
+	tag   uint32
+	cwp   uint8
+	blk   *sched.Block
+	lru   uint64
+}
+
+// New builds a VLIW Cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeKB <= 0 || cfg.Assoc <= 0 {
+		return nil, fmt.Errorf("vcache: bad config %+v", cfg)
+	}
+	c := &Cache{cfg: cfg}
+	c.sets = cfg.Blocks() / cfg.Assoc
+	if c.sets == 0 {
+		c.sets = 1
+	}
+	c.lines = make([]line, c.sets*cfg.Assoc)
+	return c, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// set maps a block tag (SPARC instruction address) to its set index.
+func (c *Cache) set(tag uint32) int { return int(tag>>2) % c.sets }
+
+// Lookup finds the block tagged with (addr, cwp). The window pointer is
+// part of the tag: the physical register addresses recorded in a block are
+// only valid at the window depth the block was scheduled at (see DESIGN.md
+// §5). It counts a hit or miss.
+func (c *Cache) Lookup(addr uint32, cwp uint8) (*sched.Block, bool) {
+	base := c.set(addr) * c.cfg.Assoc
+	for i := 0; i < c.cfg.Assoc; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == addr && l.cwp == cwp {
+			c.clock++
+			l.lru = c.clock
+			c.Hits++
+			return l.blk, true
+		}
+	}
+	c.Misses++
+	return nil, false
+}
+
+// Probe is Lookup without statistics, for callers that only test presence.
+func (c *Cache) Probe(addr uint32, cwp uint8) (*sched.Block, bool) {
+	base := c.set(addr) * c.cfg.Assoc
+	for i := 0; i < c.cfg.Assoc; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == addr && l.cwp == cwp {
+			return l.blk, true
+		}
+	}
+	return nil, false
+}
+
+// Save stores a block, replacing the LRU way of its set (or an existing
+// block with the same tag).
+func (c *Cache) Save(b *sched.Block) {
+	c.Stores++
+	c.clock++
+	base := c.set(b.Tag) * c.cfg.Assoc
+	victim := base
+	for i := 0; i < c.cfg.Assoc; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == b.Tag && l.cwp == b.EntryCWP {
+			victim = base + i
+			break
+		}
+		if !c.lines[victim].valid {
+			continue
+		}
+		if !l.valid || l.lru < c.lines[victim].lru {
+			victim = base + i
+		}
+	}
+	if c.lines[victim].valid && (c.lines[victim].tag != b.Tag || c.lines[victim].cwp != b.EntryCWP) {
+		c.Replaced++
+	}
+	c.lines[victim] = line{valid: true, tag: b.Tag, cwp: b.EntryCWP, blk: b, lru: c.clock}
+}
+
+// Invalidate drops the block tagged (addr, cwp) (paper §3.11: aliasing
+// exceptions invalidate the faulting block).
+func (c *Cache) Invalidate(addr uint32, cwp uint8) {
+	base := c.set(addr) * c.cfg.Assoc
+	for i := 0; i < c.cfg.Assoc; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == addr && l.cwp == cwp {
+			l.valid = false
+			c.Invalidats++
+		}
+	}
+}
+
+// Reset clears the cache.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.Hits, c.Misses, c.Stores, c.Replaced, c.Invalidats = 0, 0, 0, 0, 0
+}

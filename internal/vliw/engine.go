@@ -1,0 +1,411 @@
+// Package vliw implements the VLIW Engine (paper §3.5, §3.8, §3.10,
+// §3.11): it executes blocks of long instructions from the VLIW Cache
+// against the architectural state shared with the Primary Processor, with
+//
+//   - read-before-write semantics within each long instruction,
+//   - branch-tag validation and trace-exit redirection,
+//   - renaming registers holding split instruction results (and deferred
+//     exception information),
+//   - copy instructions committing renamed values architecturally,
+//   - memory-aliasing detection through load/store lists, order fields and
+//     cross bits, and
+//   - checkpointing with a recovery store list (Hwu & Patt).
+package vliw
+
+import (
+	"fmt"
+
+	"dtsvliw/internal/arch"
+	"dtsvliw/internal/isa"
+	"dtsvliw/internal/sched"
+)
+
+// microStore is one buffered memory write held in a memory renaming
+// register or pending at the end of a long instruction.
+type microStore struct {
+	addr uint32
+	val  uint32
+	size uint8
+}
+
+// renVal is the runtime contents of one renaming register.
+type renVal struct {
+	val    uint32
+	exc    error        // deferred exception (paper §3.8)
+	stores []microStore // memory renaming registers buffer the store data
+	memEA  uint32       // runtime effective address of a renamed store
+}
+
+// memRec is one entry of the load or store list (paper §3.10).
+type memRec struct {
+	addr  uint32
+	size  uint8
+	order uint16
+}
+
+func overlaps(a memRec, addr uint32, size uint8) bool {
+	return a.addr < addr+uint32(size) && addr < a.addr+uint32(a.size)
+}
+
+// undoRec is one entry of the checkpoint recovery store list.
+type undoRec struct {
+	addr uint32
+	old  uint32
+	size uint8
+}
+
+// AliasingError reports a memory-aliasing exception detected during VLIW
+// execution.
+type AliasingError struct {
+	Addr        uint32
+	LoadOrder   uint16
+	StoreOrder  uint16
+	Description string
+}
+
+func (e *AliasingError) Error() string {
+	return fmt.Sprintf("vliw: aliasing at %#08x (%s, load order %d vs store order %d)",
+		e.Addr, e.Description, e.LoadOrder, e.StoreOrder)
+}
+
+// Result reports the effects of executing one long instruction.
+type Result struct {
+	// TraceExit is set when a conditional or indirect branch left the
+	// recorded trace; NextPC is where sequential execution continues.
+	TraceExit bool
+	NextPC    uint32
+
+	// ExitAdvance is the number of sequential instructions the recorded
+	// trace covers up to and including the deviating branch; the lockstep
+	// test machine advances by this amount on a trace exit. ExitBranch is
+	// the deviating branch's address (the next-long-instruction
+	// predictor's key).
+	ExitAdvance uint64
+	ExitBranch  uint32
+
+	// Exception is set when recovery is required; Aliasing distinguishes
+	// aliasing exceptions (which invalidate the block) from others. The
+	// engine has already rolled the block back when Exception is set.
+	Exception      bool
+	Aliasing       bool
+	Err            error
+	RecoveryCycles int // cycles spent restoring the checkpoint
+
+	// MemAddrs lists committed memory access addresses for Data Cache
+	// timing; Stores lists committed memory writes for lockstep memory
+	// comparison.
+	MemAddrs []uint32
+	Stores   []arch.StoreRec
+
+	Committed int
+	Annulled  int
+}
+
+// Stats accumulates VLIW Engine statistics (Table 3 columns).
+type Stats struct {
+	LIsExecuted    uint64
+	OpsCommitted   uint64
+	OpsAnnulled    uint64
+	TraceExits     uint64
+	Aliasing       uint64
+	Exceptions     uint64
+	BlocksEntered  uint64
+	MaxLoadList    int
+	MaxStoreList   int
+	MaxCkptList    int
+	CopiesExecuted uint64
+	// MaxDataStoreList is the data-store-list high-water mark when the
+	// SchemeStoreList alternative (paper §3.11) is active.
+	MaxDataStoreList int
+}
+
+// Engine executes blocks of long instructions.
+type Engine struct {
+	st   *arch.State
+	nwin int
+
+	block *sched.Block
+	ren   [sched.NumRenameClasses][]renVal
+	loads []memRec
+	strs  []memRec
+
+	shadowRegs []uint32
+	shadowF    [32]uint32
+	shadowICC  uint8
+	shadowFCC  uint8
+	shadowY    uint32
+	shadowCWP  uint8
+	undo       []undoRec
+
+	scheme  StoreScheme
+	overlay *dataStoreOverlay
+
+	// Multicycle extension: writes of latency-L slots commit at the end
+	// of long instruction issueLI+L-1.
+	pendWrites []pendWrite
+	pendRens   []pendRen
+	maxDue     int
+
+	Stats Stats
+}
+
+// pendWrite is an architectural write awaiting its producer's latency.
+type pendWrite struct {
+	due int
+	w   bufWrite
+}
+
+// pendRen is a renaming-register write awaiting its producer's latency.
+type pendRen struct {
+	due int
+	r   renWrite
+}
+
+// getRenBypass reads a renaming register through the result-forwarding
+// bypass: a copy instruction scheduled inside its multicycle producer's
+// latency shadow picks the value up from the functional unit's output
+// latch (the newest pending write) rather than the rename file.
+func (e *Engine) getRenBypass(r sched.RenameReg) renVal {
+	for i := len(e.pendRens) - 1; i >= 0; i-- {
+		if e.pendRens[i].r.reg == r {
+			return e.pendRens[i].r.v
+		}
+	}
+	return e.getRen(r)
+}
+
+// New builds a VLIW Engine over the shared architectural state.
+func New(st *arch.State) *Engine {
+	return &Engine{st: st, nwin: st.NWin}
+}
+
+// Block returns the block currently being executed.
+func (e *Engine) Block() *sched.Block { return e.block }
+
+// BeginBlock starts executing block b: it takes a checkpoint of the SPARC
+// state (paper §3.11) and clears the renaming registers and the load and
+// store lists.
+func (e *Engine) BeginBlock(b *sched.Block) {
+	e.block = b
+	for c := range e.ren {
+		e.ren[c] = e.ren[c][:0]
+		if n := int(b.Renames[c]); n > 0 {
+			if cap(e.ren[c]) < n {
+				e.ren[c] = make([]renVal, n)
+			} else {
+				e.ren[c] = e.ren[c][:n]
+				for i := range e.ren[c] {
+					e.ren[c][i] = renVal{}
+				}
+			}
+		}
+	}
+	e.loads = e.loads[:0]
+	e.strs = e.strs[:0]
+	e.undo = e.undo[:0]
+	e.pendWrites = e.pendWrites[:0]
+	e.pendRens = e.pendRens[:0]
+	e.maxDue = 0
+	if e.shadowRegs == nil {
+		e.shadowRegs = make([]uint32, len(e.st.Regs))
+	}
+	copy(e.shadowRegs, e.st.Regs)
+	e.shadowF = e.st.F
+	e.shadowICC = e.st.ICC()
+	e.shadowFCC = e.st.FCC()
+	e.shadowY = e.st.Y()
+	e.shadowCWP = e.st.CWP()
+	e.Stats.BlocksEntered++
+}
+
+// recover restores the checkpoint: shadow registers and the checkpoint
+// recovery store list are written back, and the load and store lists are
+// emptied (paper §3.11). It returns the recovery cost in cycles (one
+// cycle for the shadow-register restore plus one per recovery-list entry).
+func (e *Engine) recover() int {
+	copy(e.st.Regs, e.shadowRegs)
+	e.st.F = e.shadowF
+	e.st.SetICC(e.shadowICC)
+	e.st.SetFCC(e.shadowFCC)
+	e.st.SetY(e.shadowY)
+	e.st.SetCWP(e.shadowCWP)
+	e.pendWrites = e.pendWrites[:0]
+	e.pendRens = e.pendRens[:0]
+	e.maxDue = 0
+	if e.scheme == SchemeStoreList {
+		// Discarding the data store list is the whole recovery for
+		// memory: nothing was written through (paper §3.11).
+		e.overlay.reset()
+		return 1
+	}
+	cycles := 1 + len(e.undo)
+	for i := len(e.undo) - 1; i >= 0; i-- {
+		u := e.undo[i]
+		if err := e.st.Mem.Write(u.addr, u.old, u.size); err != nil {
+			panic(fmt.Sprintf("vliw: recovery store failed: %v", err))
+		}
+	}
+	e.undo = e.undo[:0]
+	e.loads = e.loads[:0]
+	e.strs = e.strs[:0]
+	return cycles
+}
+
+// bufWrite is one buffered non-memory architectural write.
+type bufWrite struct {
+	kind isa.LocKind
+	idx  uint16
+	val  uint32
+}
+
+// renWrite is one buffered renaming-register write.
+type renWrite struct {
+	reg sched.RenameReg
+	v   renVal
+}
+
+// opMem is the aliasing metadata of one committed memory operation.
+type opMem struct {
+	addr    uint32
+	size    uint8
+	order   uint16
+	cross   bool
+	isStore bool
+}
+
+// slotEnv adapts isa.Env for one slot's execution: reads come from the
+// pre-LI architectural state, writes are buffered, renamed outputs are
+// redirected to renaming registers, and the slot's recorded CWP resolves
+// register windows (paper §3.9).
+type slotEnv struct {
+	eng  *Engine
+	slot *sched.Slot
+
+	writes []bufWrite
+	rens   []renWrite
+	stores []microStore
+	memEA  uint32
+}
+
+// srcRenameFor reports whether the slot reads location l from a renaming
+// register (source forwarding, paper Figure 2).
+func (v *slotEnv) srcRenameFor(l isa.Loc) (sched.RenameReg, bool) {
+	for _, p := range v.slot.SrcRenames {
+		if p.Loc == l {
+			return p.Reg, true
+		}
+	}
+	return sched.RenameReg{}, false
+}
+
+func (v *slotEnv) renameFor(l isa.Loc) (sched.RenameReg, bool) {
+	for _, p := range v.slot.Renames {
+		if p.Loc.Kind == l.Kind && (l.Kind != isa.LocIReg && l.Kind != isa.LocFReg || p.Loc.Idx == l.Idx) {
+			if l.Kind == isa.LocMem {
+				return p.Reg, true
+			}
+			if p.Loc == l {
+				return p.Reg, true
+			}
+		}
+	}
+	return sched.RenameReg{}, false
+}
+
+func (v *slotEnv) ReadReg(idx uint16) uint32 {
+	if idx == 0 {
+		return 0
+	}
+	if r, ok := v.srcRenameFor(isa.IReg(idx)); ok {
+		return v.eng.getRen(r).val
+	}
+	return v.eng.st.ReadReg(idx)
+}
+func (v *slotEnv) WriteReg(idx uint16, val uint32) {
+	if idx == 0 {
+		return
+	}
+	if r, ok := v.renameFor(isa.IReg(idx)); ok {
+		v.rens = append(v.rens, renWrite{reg: r, v: renVal{val: val}})
+		return
+	}
+	v.writes = append(v.writes, bufWrite{kind: isa.LocIReg, idx: idx, val: val})
+}
+func (v *slotEnv) ReadF(idx uint8) uint32 {
+	if r, ok := v.srcRenameFor(isa.FReg(uint16(idx))); ok {
+		return v.eng.getRen(r).val
+	}
+	return v.eng.st.ReadF(idx)
+}
+func (v *slotEnv) WriteF(idx uint8, val uint32) {
+	if r, ok := v.renameFor(isa.FReg(uint16(idx))); ok {
+		v.rens = append(v.rens, renWrite{reg: r, v: renVal{val: val}})
+		return
+	}
+	v.writes = append(v.writes, bufWrite{kind: isa.LocFReg, idx: uint16(idx), val: val})
+}
+func (v *slotEnv) ICC() uint8 {
+	if r, ok := v.srcRenameFor(isa.Loc{Kind: isa.LocICC}); ok {
+		return uint8(v.eng.getRen(r).val)
+	}
+	return v.eng.st.ICC()
+}
+func (v *slotEnv) SetICC(x uint8) {
+	if r, ok := v.renameFor(isa.Loc{Kind: isa.LocICC}); ok {
+		v.rens = append(v.rens, renWrite{reg: r, v: renVal{val: uint32(x)}})
+		return
+	}
+	v.writes = append(v.writes, bufWrite{kind: isa.LocICC, val: uint32(x)})
+}
+func (v *slotEnv) FCC() uint8 {
+	if r, ok := v.srcRenameFor(isa.Loc{Kind: isa.LocFCC}); ok {
+		return uint8(v.eng.getRen(r).val)
+	}
+	return v.eng.st.FCC()
+}
+func (v *slotEnv) SetFCC(x uint8) {
+	if r, ok := v.renameFor(isa.Loc{Kind: isa.LocFCC}); ok {
+		v.rens = append(v.rens, renWrite{reg: r, v: renVal{val: uint32(x)}})
+		return
+	}
+	v.writes = append(v.writes, bufWrite{kind: isa.LocFCC, val: uint32(x)})
+}
+func (v *slotEnv) Y() uint32 {
+	if r, ok := v.srcRenameFor(isa.Loc{Kind: isa.LocY}); ok {
+		return v.eng.getRen(r).val
+	}
+	return v.eng.st.Y()
+}
+func (v *slotEnv) SetY(x uint32) {
+	if r, ok := v.renameFor(isa.Loc{Kind: isa.LocY}); ok {
+		v.rens = append(v.rens, renWrite{reg: r, v: renVal{val: x}})
+		return
+	}
+	v.writes = append(v.writes, bufWrite{kind: isa.LocY, val: x})
+}
+func (v *slotEnv) CWP() uint8 { return v.slot.CWP }
+
+func (v *slotEnv) SetCWP(x uint8) {
+	if r, ok := v.renameFor(isa.Loc{Kind: isa.LocCWP}); ok {
+		v.rens = append(v.rens, renWrite{reg: r, v: renVal{val: uint32(x)}})
+		return
+	}
+	v.writes = append(v.writes, bufWrite{kind: isa.LocCWP, val: uint32(x)})
+}
+func (v *slotEnv) Load(addr uint32, size uint8) (uint32, error) {
+	if v.eng.scheme == SchemeStoreList {
+		// Loads read the data store list over the Data Cache and use the
+		// last data stored on a list hit (paper §3.11).
+		return v.eng.overlay.read(v.eng, addr, size)
+	}
+	return v.eng.st.Mem.Read(addr, size)
+}
+func (v *slotEnv) Store(addr uint32, val uint32, size uint8) error {
+	// Buffered; applied at the end of the long instruction (or routed to a
+	// memory renaming register for split stores).
+	v.stores = append(v.stores, microStore{addr: addr, val: val, size: size})
+	if len(v.stores) == 1 {
+		v.memEA = addr // base EA: first micro-store of the operation
+	}
+	return nil
+}

@@ -1,0 +1,457 @@
+package vliw
+
+import (
+	"fmt"
+
+	"dtsvliw/internal/arch"
+	"dtsvliw/internal/isa"
+	"dtsvliw/internal/mem"
+	"dtsvliw/internal/sched"
+)
+
+// ExecLI executes long instruction line of the current block. All operand
+// reads observe the state before the long instruction; writes commit at
+// its end, gated by branch tags. On an exception, the block has already
+// been rolled back to its entry checkpoint when ExecLI returns.
+func (e *Engine) ExecLI(line int) Result {
+	var res Result
+	if e.block == nil || line < 0 || line >= e.block.NumLIs {
+		res.Exception = true
+		res.Err = fmt.Errorf("vliw: no long instruction %d", line)
+		return res
+	}
+	li := e.block.LIs[line]
+	e.Stats.LIsExecuted++
+
+	// Phase 1: resolve conditional and indirect branches in tag order
+	// (their operands are pre-LI state, so resolution is order-free; the
+	// tag order decides which deviation wins, paper §3.8).
+	tagLimit := int(^uint(0) >> 1) // all tags valid
+	var exitPC uint32
+	var exitSeq uint64
+	var exitBranch uint32
+	exit := false
+	for _, s := range li {
+		if s == nil || !s.IsCondOrIndirectBranch() {
+			continue
+		}
+		if int(s.Tag) > tagLimit {
+			continue // annulled by an earlier deviating branch
+		}
+		taken, target := e.resolveBranch(s)
+		if taken == s.BrTaken && (!taken || target == s.BrTarget) {
+			continue // followed the recorded trace
+		}
+		// Deviation: instructions tagged after this branch are annulled
+		// and execution continues at the actual next PC.
+		var next uint32
+		if taken {
+			next = target
+		} else {
+			next = s.Addr + 4
+		}
+		if !exit || int(s.Tag) < tagLimit {
+			exit = true
+			exitPC = next
+			exitSeq = s.Seq
+			exitBranch = s.Addr
+			tagLimit = int(s.Tag)
+		}
+	}
+
+	// Phase 2: execute valid slots, buffering writes. Each write carries
+	// the long-instruction index at which its producer's latency lands.
+	var writes []pendWrite
+	var rens []pendRen
+	var pend []microStore // architectural stores to apply
+	var memOps []opMem    // aliasing metadata of committed memory ops
+	var memAddrs []uint32 // for Data Cache timing
+	committed, annulled := 0, 0
+
+	for _, s := range li {
+		if s == nil {
+			continue
+		}
+		if int(s.Tag) > tagLimit {
+			annulled++
+			continue
+		}
+		committed++
+		if s.IsCopy {
+			ms, ops, bw, err := e.execCopy(s)
+			if err != nil {
+				e.Stats.Exceptions++
+				if _, alias := err.(*AliasingError); alias {
+					e.Stats.Aliasing++
+				}
+				res.RecoveryCycles = e.recover()
+				res.Exception = true
+				res.Aliasing = isAliasing(err)
+				res.Err = err
+				return res
+			}
+			pend = append(pend, ms...)
+			memOps = append(memOps, ops...)
+			for _, w := range bw {
+				writes = append(writes, pendWrite{due: line, w: w})
+			}
+			e.Stats.CopiesExecuted++
+			continue
+		}
+
+		env := &slotEnv{eng: e, slot: s}
+		out, err := isa.Exec(&s.Inst, s.Addr, env, e.nwin)
+		if err != nil {
+			if len(s.Renames) > 0 {
+				// Deferred exception: stash it in the renaming registers;
+				// it surfaces only if a copy commits (paper §3.8).
+				due := line + s.LatOr1() - 1
+				for _, p := range s.Renames {
+					rens = append(rens, pendRen{due: due,
+						r: renWrite{reg: p.Reg, v: renVal{exc: err}}})
+				}
+				continue
+			}
+			e.Stats.Exceptions++
+			res.RecoveryCycles = e.recover()
+			res.Exception = true
+			res.Err = err
+			return res
+		}
+		if out.Trap {
+			// Non-schedulable instructions never reach blocks; a trapping
+			// Ticc here is a scheduler invariant violation.
+			e.Stats.Exceptions++
+			res.RecoveryCycles = e.recover()
+			res.Exception = true
+			res.Err = fmt.Errorf("vliw: trap %d inside block at %#08x", out.TrapNum, s.Addr)
+			return res
+		}
+
+		due := line + s.LatOr1() - 1
+		if s.MemRenamed {
+			// Split store: route the buffered micro-stores to the memory
+			// renaming register.
+			for _, p := range s.Renames {
+				if p.Loc.Kind == isa.LocMem {
+					rens = append(rens, pendRen{due: due,
+						r: renWrite{reg: p.Reg, v: renVal{stores: env.stores, memEA: env.memEA}}})
+				}
+			}
+			env.stores = nil
+		}
+
+		for _, w := range env.writes {
+			writes = append(writes, pendWrite{due: due, w: w})
+		}
+		for _, r := range env.rens {
+			rens = append(rens, pendRen{due: due, r: r})
+		}
+		pend = append(pend, env.stores...)
+		if s.IsMem && out.HasEA {
+			memAddrs = append(memAddrs, out.EA)
+			if !s.MemRenamed {
+				memOps = append(memOps, opMem{
+					addr: out.EA, size: s.MemSize, order: s.Order,
+					cross: s.Cross, isStore: s.IsStore,
+				})
+			} else {
+				// The renamed store's access is charged when its memory
+				// copy commits; drop the speculative charge.
+				memAddrs = memAddrs[:len(memAddrs)-1]
+			}
+		}
+	}
+	// Phase 3: aliasing detection (paper §3.10) before anything commits.
+	if err := e.checkAliasing(memOps); err != nil {
+		e.Stats.Exceptions++
+		e.Stats.Aliasing++
+		res.RecoveryCycles = e.recover()
+		res.Exception = true
+		res.Aliasing = true
+		res.Err = err
+		return res
+	}
+
+	// Phase 4: commit. Non-memory writes and renaming registers commit at
+	// the end of the long instruction their producer's latency reaches
+	// (multicycle extension; with all-1 latencies everything commits now).
+	for _, w := range writes {
+		if w.due <= line {
+			e.applyWrite(w.w)
+		} else {
+			e.pendWrites = append(e.pendWrites, w)
+			if w.due > e.maxDue {
+				e.maxDue = w.due
+			}
+		}
+	}
+	for _, r := range rens {
+		if r.due <= line {
+			e.setRen(r.r.reg, r.r.v)
+		} else {
+			e.pendRens = append(e.pendRens, r)
+			if r.due > e.maxDue {
+				e.maxDue = r.due
+			}
+		}
+	}
+	e.commitDue(line)
+	for _, ms := range pend {
+		if e.scheme == SchemeStoreList {
+			// Buffer in the data store list; memory is written at block
+			// end (drain) and the journal is produced there.
+			if !e.st.Mem.Mapped(ms.addr) {
+				e.Stats.Exceptions++
+				res.RecoveryCycles = e.recover()
+				res.Exception = true
+				res.Err = &mem.FaultError{Addr: ms.addr}
+				return res
+			}
+			e.overlay.add(ms)
+			continue
+		}
+		old, err := e.st.Mem.Read(ms.addr, ms.size)
+		if err == nil {
+			e.undo = append(e.undo, undoRec{addr: ms.addr, old: old, size: ms.size})
+			err = e.st.Mem.Write(ms.addr, ms.val, ms.size)
+		}
+		if err != nil {
+			e.Stats.Exceptions++
+			res.RecoveryCycles = e.recover()
+			res.Exception = true
+			res.Err = err
+			return res
+		}
+		res.Stores = append(res.Stores, arch.StoreRec{Addr: ms.addr, Size: ms.size})
+	}
+	if e.scheme == SchemeStoreList {
+		if n := len(e.overlay.log); n > e.Stats.MaxDataStoreList {
+			e.Stats.MaxDataStoreList = n
+		}
+	} else if len(e.undo) > e.Stats.MaxCkptList {
+		e.Stats.MaxCkptList = len(e.undo)
+	}
+
+	// Phase 5: record cross-bit memory operations in the load/store lists.
+	for _, m := range memOps {
+		if !m.cross {
+			continue
+		}
+		rec := memRec{addr: m.addr, size: m.size, order: m.order}
+		if m.isStore {
+			e.strs = append(e.strs, rec)
+		} else {
+			e.loads = append(e.loads, rec)
+		}
+	}
+	if len(e.loads) > e.Stats.MaxLoadList {
+		e.Stats.MaxLoadList = len(e.loads)
+	}
+	if len(e.strs) > e.Stats.MaxStoreList {
+		e.Stats.MaxStoreList = len(e.strs)
+	}
+
+	e.Stats.OpsCommitted += uint64(committed)
+	e.Stats.OpsAnnulled += uint64(annulled)
+	res.Committed = committed
+	res.Annulled = annulled
+	res.MemAddrs = memAddrs
+	if exit {
+		e.Stats.TraceExits++
+		res.TraceExit = true
+		res.NextPC = exitPC
+		res.ExitAdvance = exitSeq - e.block.FirstSeq + 1
+		res.ExitBranch = exitBranch
+	}
+	return res
+}
+
+func isAliasing(err error) bool {
+	_, ok := err.(*AliasingError)
+	return ok
+}
+
+// resolveBranch evaluates a conditional or indirect branch against the
+// pre-LI state (reading source-forwarded renaming registers where the
+// Scheduler Unit rewrote the operands) and returns its actual direction
+// and target.
+func (e *Engine) resolveBranch(s *sched.Slot) (taken bool, target uint32) {
+	env := slotEnv{eng: e, slot: s}
+	in := &s.Inst
+	switch in.Op {
+	case isa.OpBICC:
+		return isa.EvalICC(in.Cond, env.ICC()), in.BranchTarget(s.Addr)
+	case isa.OpFBFCC:
+		return isa.EvalFCC(in.Cond, env.FCC()), in.BranchTarget(s.Addr)
+	case isa.OpJMPL:
+		t := env.ReadReg(isa.PhysReg(s.CWP, in.Rs1, e.nwin))
+		if in.UseImm {
+			t += uint32(in.Imm)
+		} else {
+			t += env.ReadReg(isa.PhysReg(s.CWP, in.Rs2, e.nwin))
+		}
+		return true, t
+	}
+	return false, 0
+}
+
+// execCopy commits a copy instruction: each renaming register's value is
+// written to its architectural location; memory renaming registers release
+// their buffered stores. A deferred exception held in a renaming register
+// surfaces here (paper §3.8).
+func (e *Engine) execCopy(s *sched.Slot) (ms []microStore, ops []opMem, bw []bufWrite, err error) {
+	for _, p := range s.Copies {
+		rv := e.getRenBypass(p.Reg)
+		if rv.exc != nil {
+			return nil, nil, nil, rv.exc
+		}
+		switch p.Loc.Kind {
+		case isa.LocMem:
+			ms = append(ms, rv.stores...)
+			ops = append(ops, opMem{
+				addr: rv.memEA, size: s.MemSize, order: s.Order,
+				cross: s.Cross, isStore: true,
+			})
+		case isa.LocIReg:
+			bw = append(bw, bufWrite{kind: isa.LocIReg, idx: p.Loc.Idx, val: rv.val})
+		case isa.LocFReg:
+			bw = append(bw, bufWrite{kind: isa.LocFReg, idx: p.Loc.Idx, val: rv.val})
+		case isa.LocICC:
+			bw = append(bw, bufWrite{kind: isa.LocICC, val: rv.val})
+		case isa.LocFCC:
+			bw = append(bw, bufWrite{kind: isa.LocFCC, val: rv.val})
+		case isa.LocY:
+			bw = append(bw, bufWrite{kind: isa.LocY, val: rv.val})
+		case isa.LocCWP:
+			bw = append(bw, bufWrite{kind: isa.LocCWP, val: rv.val})
+		}
+	}
+	return ms, ops, bw, nil
+}
+
+// checkAliasing applies the paper's §3.10 rules: every load compares
+// against the stores of its long instruction and the store list; every
+// store compares against the loads and stores of its long instruction and
+// both lists. An order inversion on an address overlap raises an aliasing
+// exception.
+func (e *Engine) checkAliasing(memOps []opMem) error {
+	for i, m := range memOps {
+		// Same-long-instruction comparisons.
+		for j, o := range memOps {
+			if i == j {
+				continue
+			}
+			if !(o.addr < m.addr+uint32(m.size) && m.addr < o.addr+uint32(o.size)) {
+				continue
+			}
+			if !m.isStore && o.isStore && m.order < o.order {
+				return &AliasingError{Addr: m.addr, LoadOrder: m.order, StoreOrder: o.order,
+					Description: "load before same-LI store"}
+			}
+			if m.isStore && m.order < o.order {
+				return &AliasingError{Addr: m.addr, LoadOrder: o.order, StoreOrder: m.order,
+					Description: "store reordered within LI"}
+			}
+		}
+		if !m.isStore {
+			// Load vs the store list.
+			for _, srec := range e.strs {
+				if overlaps(srec, m.addr, m.size) && m.order < srec.order {
+					return &AliasingError{Addr: m.addr, LoadOrder: m.order, StoreOrder: srec.order,
+						Description: "load executed after younger store"}
+				}
+			}
+			continue
+		}
+		// Store vs both lists.
+		for _, lrec := range e.loads {
+			if overlaps(lrec, m.addr, m.size) && m.order < lrec.order {
+				return &AliasingError{Addr: m.addr, LoadOrder: lrec.order, StoreOrder: m.order,
+					Description: "store executed after younger load"}
+			}
+		}
+		for _, srec := range e.strs {
+			if overlaps(srec, m.addr, m.size) && m.order < srec.order {
+				return &AliasingError{Addr: m.addr, LoadOrder: srec.order, StoreOrder: m.order,
+					Description: "store executed after younger store"}
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) applyWrite(w bufWrite) {
+	switch w.kind {
+	case isa.LocIReg:
+		e.st.WriteReg(w.idx, w.val)
+	case isa.LocFReg:
+		e.st.WriteF(uint8(w.idx), w.val)
+	case isa.LocICC:
+		e.st.SetICC(uint8(w.val))
+	case isa.LocFCC:
+		e.st.SetFCC(uint8(w.val))
+	case isa.LocY:
+		e.st.SetY(w.val)
+	case isa.LocCWP:
+		e.st.SetCWP(uint8(w.val))
+	}
+}
+
+func (e *Engine) getRen(r sched.RenameReg) renVal {
+	file := e.ren[r.Class]
+	if int(r.Idx) >= len(file) {
+		return renVal{exc: fmt.Errorf("vliw: renaming register %v%d unallocated", r.Class, r.Idx)}
+	}
+	return file[r.Idx]
+}
+
+func (e *Engine) setRen(r sched.RenameReg, v renVal) {
+	file := e.ren[r.Class]
+	for int(r.Idx) >= len(file) {
+		file = append(file, renVal{})
+	}
+	file[r.Idx] = v
+	e.ren[r.Class] = file
+}
+
+// commitDue applies pending delayed writes whose due long instruction has
+// been reached.
+func (e *Engine) commitDue(line int) {
+	if len(e.pendWrites) > 0 {
+		keep := e.pendWrites[:0]
+		for _, p := range e.pendWrites {
+			if p.due <= line {
+				e.applyWrite(p.w)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		e.pendWrites = keep
+	}
+	if len(e.pendRens) > 0 {
+		keep := e.pendRens[:0]
+		for _, p := range e.pendRens {
+			if p.due <= line {
+				e.setRen(p.r.reg, p.r.v)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		e.pendRens = keep
+	}
+}
+
+// FlushPending commits every delayed write at a block boundary (normal
+// end or trace exit) and returns the stall cycles needed for the longest
+// in-flight latency to complete (zero with all-1 latencies). lastLine is
+// the last long instruction executed.
+func (e *Engine) FlushPending(lastLine int) int {
+	stall := 0
+	if e.maxDue > lastLine {
+		stall = e.maxDue - lastLine
+	}
+	e.commitDue(1 << 30)
+	e.maxDue = 0
+	return stall
+}

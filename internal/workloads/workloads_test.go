@@ -1,0 +1,25 @@
+package workloads
+
+import (
+	"testing"
+)
+
+// TestSequentialCorrectness runs every registered workload on the plain
+// sequential interpreter and validates it against its Go reference model.
+func TestSequentialCorrectness(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			st, err := w.NewState(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Run(100_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Validate(st); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d instructions", w.Name, st.Instret)
+		})
+	}
+}
