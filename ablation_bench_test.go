@@ -18,14 +18,30 @@ import (
 	"testing"
 
 	"dtsvliw/internal/core"
+	"dtsvliw/internal/oracle"
+	"dtsvliw/internal/progen"
 	"dtsvliw/internal/vliw"
 	"dtsvliw/internal/workloads"
 )
+
+// ablationSeed anchors the deterministic seed range of the generated-
+// program ablation benchmarks; every run measures the same programs.
+const ablationSeed int64 = 100
+
+// skipIfShort keeps `go test -short -bench` fast: ablations sweep whole
+// workloads and are meaningful only at full length.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("ablation benchmarks skipped in -short mode")
+	}
+}
 
 // BenchmarkAblationForwarding isolates source forwarding: without it,
 // consumers of split values wait for the copy and dependence chains
 // re-serialise at every split point.
 func BenchmarkAblationForwarding(b *testing.B) {
+	skipIfShort(b)
 	for _, w := range workloads.All() {
 		b.Run("on/"+w.Name, func(b *testing.B) {
 			benchRun(b, w, core.IdealConfig(8, 8))
@@ -41,6 +57,7 @@ func BenchmarkAblationForwarding(b *testing.B) {
 // BenchmarkAblationStoreScheme compares the evaluated checkpoint scheme
 // against the paper's data-store-list alternative.
 func BenchmarkAblationStoreScheme(b *testing.B) {
+	skipIfShort(b)
 	for _, w := range workloads.All() {
 		b.Run("checkpoint/"+w.Name, func(b *testing.B) {
 			benchRun(b, w, core.FeasibleConfig())
@@ -56,6 +73,7 @@ func BenchmarkAblationStoreScheme(b *testing.B) {
 // BenchmarkAblationExitPrediction isolates next-long-instruction
 // prediction on the branchiest workloads, where trace exits dominate.
 func BenchmarkAblationExitPrediction(b *testing.B) {
+	skipIfShort(b)
 	for _, name := range []string{"gcc", "go", "xlisp", "compress"} {
 		w, _ := workloads.ByName(name)
 		b.Run("off/"+name, func(b *testing.B) {
@@ -72,6 +90,7 @@ func BenchmarkAblationExitPrediction(b *testing.B) {
 // BenchmarkAblationGeometryExtremes contrasts degenerate geometries
 // against the balanced 8x8 block the paper recommends.
 func BenchmarkAblationGeometryExtremes(b *testing.B) {
+	skipIfShort(b)
 	for _, g := range [][2]int{{64, 1}, {1, 64}, {8, 8}} {
 		for _, name := range []string{"ijpeg", "gcc"} {
 			w, _ := workloads.ByName(name)
@@ -86,6 +105,7 @@ func BenchmarkAblationGeometryExtremes(b *testing.B) {
 // space of the paper's companion multicycle study) on the two most
 // load-bound workloads.
 func BenchmarkAblationLoadLatency(b *testing.B) {
+	skipIfShort(b)
 	for lat := 1; lat <= 4; lat++ {
 		for _, name := range []string{"vortex", "compress"} {
 			w, _ := workloads.ByName(name)
@@ -96,6 +116,59 @@ func BenchmarkAblationLoadLatency(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAblationAliasingPressure measures both store-recoverability
+// schemes on progen's load/store-aliasing shape — generated programs
+// dense in same-address byte/halfword/word overlap, where recovery and
+// conservative rescheduling costs dominate. Programs come from the
+// explicit seed range [ablationSeed, ablationSeed+aliasProgs), so the
+// benchmark is bit-for-bit reproducible.
+func BenchmarkAblationAliasingPressure(b *testing.B) {
+	skipIfShort(b)
+	const aliasProgs = 24
+	for _, scheme := range []struct {
+		name string
+		s    vliw.StoreScheme
+	}{{"checkpoint", vliw.SchemeCheckpoint}, {"storelist", vliw.SchemeStoreList}} {
+		b.Run(scheme.name, func(b *testing.B) {
+			cfg := core.IdealConfig(8, 8)
+			cfg.StoreScheme = scheme.s
+			cfg.MaxCycles = 1 << 60
+			var cycles, retired uint64
+			for i := 0; i < b.N; i++ {
+				cycles, retired = 0, 0
+				for p := 0; p < aliasProgs; p++ {
+					src := progen.Generate(progen.ShapeParams(progen.ShapeAliasing, ablationSeed+int64(p)))
+					m := benchRunSource(b, src, cfg)
+					cycles += m.Stats.Cycles
+					retired += m.Stats.Retired
+				}
+				b.SetBytes(int64(retired))
+			}
+			if cycles > 0 {
+				b.ReportMetric(float64(retired)/float64(cycles), "IPC")
+			}
+		})
+	}
+}
+
+// benchRunSource assembles and runs one source program on a DTSVLIW
+// machine, returning it for stats harvesting.
+func benchRunSource(b *testing.B, src string, cfg core.Config) *core.Machine {
+	b.Helper()
+	st, err := oracle.BuildState(src, cfg.NWin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.NewMachine(cfg, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return m
 }
 
 func geoName(g [2]int) string {

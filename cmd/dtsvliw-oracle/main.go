@@ -1,0 +1,132 @@
+// Command dtsvliw-oracle runs the property-based conformance harness: it
+// generates seeded random SPARC programs in several hazard shapes, runs
+// each both on the full DTSVLIW machine and on an independent sequential
+// reference interpreter in lock-step, and reports any divergence as a
+// shrunk, replayable reproducer (assembly plus seed). A clean run prints
+// a summary and exits 0; any divergence exits 1.
+//
+// Examples:
+//
+//	dtsvliw-oracle -n 10000 -seed 1
+//	dtsvliw-oracle -n 200 -shapes aliasing,multicycle -configs multicycle
+//	dtsvliw-oracle -replay 422 -shapes aliasing -configs multicycle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dtsvliw/internal/oracle"
+	"dtsvliw/internal/progen"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1000, "number of generated programs to check")
+		seed    = flag.Int64("seed", 1, "base seed; program i uses seed+i")
+		shapes  = flag.String("shapes", "", "comma-separated program shapes (default: all)")
+		configs = flag.String("configs", "", "comma-separated machine configurations (default: all)")
+		maxFail = flag.Int("maxfail", 1, "stop after this many failures")
+		shrink  = flag.Int("shrink", 0, "differential runs each shrink may spend (0 = default)")
+		replay  = flag.Int64("replay", -1, "replay a single seed (use with -shapes/-configs to pin the case)")
+		verbose = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dtsvliw-oracle [flags]\n\nshapes:  %s\nconfigs: %s\n\nflags:\n",
+			strings.Join(shapeNames(), ", "), strings.Join(oracle.ConfigNames(), ", "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	shapeList, err := parseShapes(*shapes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtsvliw-oracle:", err)
+		os.Exit(2)
+	}
+	configList, err := parseConfigs(*configs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtsvliw-oracle:", err)
+		os.Exit(2)
+	}
+
+	opts := oracle.SweepOptions{
+		N:           *n,
+		Seed:        *seed,
+		Shapes:      shapeList,
+		Configs:     configList,
+		MaxFail:     *maxFail,
+		ShrinkEvals: *shrink,
+	}
+	if *replay >= 0 {
+		// Replay mode: exactly one program, the given seed, first listed
+		// shape and configuration.
+		opts.N = 1
+		opts.Seed = *replay
+	}
+	if *verbose {
+		opts.Progress = func(done, total int, f *oracle.Failure) {
+			if f != nil {
+				fmt.Printf("[%d/%d] FAIL\n", done, total)
+				return
+			}
+			if done%100 == 0 || done == total {
+				fmt.Printf("[%d/%d] ok\n", done, total)
+			}
+		}
+	}
+
+	start := time.Now()
+	rep := oracle.Sweep(opts)
+	elapsed := time.Since(start)
+
+	for i := range rep.Failures {
+		fmt.Println(rep.Failures[i].Render())
+	}
+	fmt.Printf("oracle: %d programs, %d sequential instructions, %d DTSVLIW cycles, %d divergences (%.1fs)\n",
+		rep.Runs, rep.Instret, rep.Cycles, len(rep.Failures), elapsed.Seconds())
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func shapeNames() []string {
+	var names []string
+	for _, s := range progen.Shapes() {
+		names = append(names, s.String())
+	}
+	return names
+}
+
+func parseShapes(arg string) ([]progen.Shape, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []progen.Shape
+	for _, name := range strings.Split(arg, ",") {
+		s, ok := progen.ShapeByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown shape %q (have: %s)", name, strings.Join(shapeNames(), ", "))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseConfigs(arg string) ([]oracle.NamedConfig, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []oracle.NamedConfig
+	for _, name := range strings.Split(arg, ",") {
+		nc, ok := oracle.ConfigByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown config %q (have: %s)", name, strings.Join(oracle.ConfigNames(), ", "))
+		}
+		out = append(out, nc)
+	}
+	return out, nil
+}

@@ -74,6 +74,11 @@ type Config struct {
 	// architectural state at every synchronisation point (paper §4).
 	TestMode bool
 
+	// FaultDropCopy injects a deliberate scheduler bug (splits lose their
+	// copy instruction) for the differential oracle's meta-test. Test-only;
+	// see sched.Config.FaultDropCopy.
+	FaultDropCopy bool
+
 	// MaxInstrs stops the simulation after this many sequential
 	// instructions (0 = run until the program halts). MaxCycles is a
 	// safety limit.

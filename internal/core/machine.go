@@ -53,6 +53,17 @@ type Machine struct {
 	// (used by the -dumpblocks tool and by tests).
 	BlockHook func(*sched.Block)
 
+	// CheckpointHook, when set, is invoked at every commit checkpoint of
+	// the machine — after each Primary Processor instruction, at every
+	// block boundary and trace exit in VLIW mode, and after an exception
+	// rollback — with the number of sequential instructions newly covered
+	// since the previous checkpoint, the machine's current PC, and a
+	// description of the checkpoint. A non-nil return aborts the run with
+	// that error. The differential oracle (internal/oracle) uses this to
+	// lock-step an external reference interpreter without relying on the
+	// machine's own TestMode comparison logic.
+	CheckpointHook func(advance uint64, pc uint32, where string) error
+
 	Stats Stats
 }
 
@@ -65,10 +76,11 @@ func NewMachine(cfg Config, st *arch.State) (*Machine, error) {
 	}
 	sch, err := sched.New(sched.Config{
 		Width: cfg.Width, Height: cfg.Height, FUs: cfg.FUs, NWin: cfg.NWin,
-		NoForwarding: cfg.NoSourceForwarding,
-		LoadLatency:  cfg.LoadLatency,
-		FPLatency:    cfg.FPLatency,
-		FPDivLatency: cfg.FPDivLatency,
+		NoForwarding:  cfg.NoSourceForwarding,
+		LoadLatency:   cfg.LoadLatency,
+		FPLatency:     cfg.FPLatency,
+		FPDivLatency:  cfg.FPDivLatency,
+		FaultDropCopy: cfg.FaultDropCopy,
 	})
 	if err != nil {
 		return nil, err
@@ -272,7 +284,7 @@ func (m *Machine) stepPrimary() error {
 			return err
 		}
 	}
-	return nil
+	return m.notifyCheckpoint(1, m.St.PC, fmt.Sprintf("primary pc=%#08x", pc))
 }
 
 // stepVLIW executes one long instruction on the VLIW Engine.
@@ -299,11 +311,14 @@ func (m *Machine) stepVLIW() error {
 		}
 		m.switchToPrimary(blk.Tag, &cycles)
 		m.addCycles(cycles, true)
+		where := fmt.Sprintf("rollback of block %#08x (%v)", blk.Tag, res.Err)
 		if m.Ref != nil {
 			// The rollback must land exactly on the test machine's state.
-			return m.compare(fmt.Sprintf("rollback of block %#08x (%v)", blk.Tag, res.Err))
+			if err := m.compare(where); err != nil {
+				return err
+			}
 		}
-		return nil
+		return m.notifyCheckpoint(0, blk.Tag, where)
 	}
 
 	m.journal = append(m.journal, res.Stores...)
@@ -393,19 +408,45 @@ func (m *Machine) switchToPrimary(pc uint32, cycles *int) {
 // and verifies that it arrives at wantPC with identical architectural
 // state.
 func (m *Machine) syncRef(n uint64, wantPC uint32, where string) error {
-	if m.Ref == nil {
-		return nil
-	}
-	for i := uint64(0); i < n; i++ {
-		if err := m.Ref.Step(); err != nil {
-			return fmt.Errorf("core: test machine: %w", err)
+	if m.Ref != nil {
+		for i := uint64(0); i < n; i++ {
+			if err := m.Ref.Step(); err != nil {
+				return fmt.Errorf("core: test machine: %w", err)
+			}
+		}
+		if m.Ref.PC != wantPC {
+			return &MismatchError{Where: where,
+				Diff: fmt.Sprintf("PC %#08x != test machine %#08x", wantPC, m.Ref.PC)}
+		}
+		if err := m.compare(where); err != nil {
+			return err
 		}
 	}
-	if m.Ref.PC != wantPC {
-		return &MismatchError{Where: where,
-			Diff: fmt.Sprintf("PC %#08x != test machine %#08x", wantPC, m.Ref.PC)}
+	return m.notifyCheckpoint(n, wantPC, where)
+}
+
+// notifyCheckpoint invokes the CheckpointHook, if any. pc is the SPARC
+// address sequential execution has reached at this checkpoint (m.St.PC is
+// stale while the VLIW Engine is executing, so callers pass it
+// explicitly).
+func (m *Machine) notifyCheckpoint(advance uint64, pc uint32, where string) error {
+	if m.CheckpointHook == nil {
+		return nil
 	}
-	return m.compare(where)
+	return m.CheckpointHook(advance, pc, where)
+}
+
+// DrainJournal returns and clears the machine-side store journal: every
+// memory write committed since the previous drain, by the Primary
+// Processor (requires St.LogStores) and by the VLIW Engine. External
+// checkers use the journaled addresses to compare memory incrementally
+// instead of scanning the whole image at every checkpoint.
+func (m *Machine) DrainJournal() []arch.StoreRec {
+	m.journal = append(m.journal, m.St.StoreLog...)
+	m.St.StoreLog = m.St.StoreLog[:0]
+	j := m.journal
+	m.journal = nil
+	return j
 }
 
 // compare checks registers and journaled memory against the test machine.

@@ -1,0 +1,248 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dtsvliw/internal/core"
+	"dtsvliw/internal/progen"
+	"dtsvliw/internal/vliw"
+)
+
+// shrinkCycles is the preferred (tight) cycle budget for shrink
+// candidates, so reduced programs that spin forever are rejected quickly.
+// If the original failure needs longer to surface, shrinking falls back
+// to the full differential budget.
+const shrinkCycles = 1_000_000
+
+// shrinkRefInstrs bounds the sequential well-formedness run of each
+// shrink candidate.
+const shrinkRefInstrs = 5_000_000
+
+// NamedConfig pairs a machine configuration with the name used to select
+// it from the CLI and to label failures.
+type NamedConfig struct {
+	Name string
+	Cfg  core.Config
+}
+
+// DefaultConfigs returns the machine configurations the conformance sweep
+// rotates through: the paper's ideal geometries, the feasible machine,
+// and one variant per orthogonal mechanism (multicycle latencies, the
+// §3.11 data-store-list scheme, next-long-instruction prediction, and
+// the no-source-forwarding ablation).
+func DefaultConfigs() []NamedConfig {
+	multi := core.IdealConfig(8, 8)
+	multi.LoadLatency, multi.FPLatency, multi.FPDivLatency = 2, 2, 8
+
+	storelist := core.IdealConfig(8, 8)
+	storelist.StoreScheme = vliw.SchemeStoreList
+
+	exitpred := core.IdealConfig(8, 8)
+	exitpred.ExitPrediction = true
+
+	nofwd := core.IdealConfig(8, 8)
+	nofwd.NoSourceForwarding = true
+
+	return []NamedConfig{
+		{"ideal-4x4", core.IdealConfig(4, 4)},
+		{"ideal-8x8", core.IdealConfig(8, 8)},
+		{"ideal-2x12", core.IdealConfig(2, 12)},
+		{"ideal-16x4", core.IdealConfig(16, 4)},
+		{"feasible", core.FeasibleConfig()},
+		{"multicycle", multi},
+		{"storelist", storelist},
+		{"exitpred", exitpred},
+		{"nofwd", nofwd},
+	}
+}
+
+// ConfigByName resolves one of the DefaultConfigs by name.
+func ConfigByName(name string) (NamedConfig, bool) {
+	for _, nc := range DefaultConfigs() {
+		if nc.Name == name {
+			return nc, true
+		}
+	}
+	return NamedConfig{}, false
+}
+
+// ConfigNames lists the selectable configuration names.
+func ConfigNames() []string {
+	cs := DefaultConfigs()
+	names := make([]string, len(cs))
+	for i, nc := range cs {
+		names[i] = nc.Name
+	}
+	return names
+}
+
+// Failure is one conformance counterexample: the seed and shape that
+// generated the program, the configuration it diverged under, and the
+// shrunk reproducer.
+type Failure struct {
+	Seed       int64
+	Shape      progen.Shape
+	ConfigName string
+	Source     string // shrunk program (re-runnable assembly)
+	OrigLines  int    // lines before shrinking
+	Lines      int    // lines after shrinking
+	Div        *Divergence
+	Err        error // non-divergence failure (generator or harness bug)
+}
+
+// Render formats the failure as a replayable report: metadata, the
+// divergence, and the shrunk assembly.
+func (f *Failure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FAILURE seed=%d shape=%s config=%s (shrunk %d -> %d lines)\n",
+		f.Seed, f.Shape, f.ConfigName, f.OrigLines, f.Lines)
+	if f.Div != nil {
+		fmt.Fprintf(&b, "%v\n", f.Div)
+	}
+	if f.Err != nil {
+		fmt.Fprintf(&b, "error: %v\n", f.Err)
+	}
+	fmt.Fprintf(&b, "replay: dtsvliw-oracle -replay %d -shapes %s -configs %s\n",
+		f.Seed, f.Shape, f.ConfigName)
+	b.WriteString("---- reproducer ----\n")
+	b.WriteString(strings.TrimRight(f.Source, "\n"))
+	b.WriteString("\n---- end reproducer ----")
+	return b.String()
+}
+
+// Report summarises a conformance sweep.
+type Report struct {
+	Runs     int
+	Instret  uint64 // total sequential instructions checked
+	Cycles   uint64 // total DTSVLIW cycles simulated
+	Failures []Failure
+}
+
+// SweepOptions parameterises Sweep. Zero values select: all shapes, all
+// DefaultConfigs, stop at the first failure, default shrink budget.
+type SweepOptions struct {
+	N           int   // number of generated programs
+	Seed        int64 // base seed; program i uses Seed+i
+	Shapes      []progen.Shape
+	Configs     []NamedConfig
+	MaxFail     int // stop after this many failures
+	ShrinkEvals int // differential runs each shrink may spend
+	// Progress, when set, is called after every run (f is nil unless the
+	// run failed).
+	Progress func(done, total int, f *Failure)
+}
+
+// Sweep runs the property-based conformance harness: for i in [0, N),
+// generate the program for seed Seed+i in shape i mod len(Shapes), run it
+// differentially under a rotating configuration, and shrink every failing
+// program to a minimal reproducer. Determinism: the same options always
+// test the same (program, configuration) pairs in the same order.
+func Sweep(o SweepOptions) *Report {
+	shapes := o.Shapes
+	if len(shapes) == 0 {
+		shapes = progen.Shapes()
+	}
+	configs := o.Configs
+	if len(configs) == 0 {
+		configs = DefaultConfigs()
+	}
+	maxFail := o.MaxFail
+	if maxFail <= 0 {
+		maxFail = 1
+	}
+
+	rep := &Report{}
+	for i := 0; i < o.N; i++ {
+		seed := o.Seed + int64(i)
+		shape := shapes[i%len(shapes)]
+		nc := configs[(i/len(shapes))%len(configs)]
+		src := progen.Generate(progen.ShapeParams(shape, seed))
+
+		res, err := RunDiff(src, nc.Cfg)
+		rep.Runs++
+		if err == nil {
+			rep.Instret += res.Instret
+			rep.Cycles += res.Cycles
+			if o.Progress != nil {
+				o.Progress(i+1, o.N, nil)
+			}
+			continue
+		}
+
+		f := Failure{Seed: seed, Shape: shape, ConfigName: nc.Name,
+			Source: src, OrigLines: countLines(src), Lines: countLines(src)}
+		var d *Divergence
+		if errors.As(err, &d) {
+			small, smallDiv := ShrinkDivergence(src, nc.Cfg, o.ShrinkEvals)
+			f.Source, f.Lines = small, countLines(small)
+			f.Div = smallDiv
+			if f.Div == nil {
+				f.Div = d // shrinking could not re-confirm; keep the original
+			}
+		} else {
+			f.Err = err
+		}
+		rep.Failures = append(rep.Failures, f)
+		if o.Progress != nil {
+			o.Progress(i+1, o.N, &rep.Failures[len(rep.Failures)-1])
+		}
+		if len(rep.Failures) >= maxFail {
+			break
+		}
+	}
+	return rep
+}
+
+// ShrinkDivergence reduces a diverging program to a minimal program that
+// still diverges under cfg, and returns it with its divergence. A
+// candidate only counts as a reproducer if it is also a well-formed
+// program — it must assemble and halt cleanly under plain sequential
+// execution — so dropped lines cannot turn the failure into an ordinary
+// program fault. Shrinking prefers a tight cycle budget so candidates
+// that loop forever die fast, falling back to the full budget when the
+// original failure needs longer to surface.
+func ShrinkDivergence(src string, cfg core.Config, evals int) (string, *Divergence) {
+	diverges := func(budget uint64) func(string) bool {
+		c := cfg
+		c.MaxCycles = budget
+		return func(cand string) bool {
+			if !refHalts(cand, c.NWin) {
+				return false
+			}
+			_, err := RunDiff(cand, c)
+			var d *Divergence
+			return errors.As(err, &d)
+		}
+	}
+	check := diverges(shrinkCycles)
+	if !check(src) {
+		check = diverges(maxDiffCycles)
+		if !check(src) {
+			// Not reproducible at all (should be impossible: runs are
+			// deterministic). Hand back the original unshrunk.
+			return src, nil
+		}
+	}
+	small := Shrink(src, check, evals)
+	c := cfg
+	_, err := RunDiff(small, c)
+	var d *Divergence
+	errors.As(err, &d)
+	return small, d
+}
+
+// refHalts reports whether src assembles and halts cleanly under the
+// sequential reference interpreter within the shrink budget.
+func refHalts(src string, nwin int) bool {
+	st, err := BuildState(src, nwin)
+	if err != nil {
+		return false
+	}
+	return st.Run(shrinkRefInstrs) == nil
+}
+
+func countLines(s string) int {
+	return len(strings.Split(strings.TrimRight(s, "\n"), "\n"))
+}

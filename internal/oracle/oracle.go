@@ -1,0 +1,83 @@
+// Package oracle is the differential co-simulation oracle of the
+// reproduction: an independent correctness backstop that checks the
+// paper's central equivalence claim — that the DTSVLIW machine (Primary
+// Processor + Scheduler Unit + VLIW Cache + VLIW Engine, with splitting,
+// renaming, branch-tag speculation and aliasing recovery all enabled) is
+// observationally identical to strictly sequential SPARC V7 execution.
+//
+// It has three layers:
+//
+//   - a reference interpreter (Ref): a minimal pure sequential interpreter
+//     over internal/arch state with no scheduling, no caches and no
+//     speculation, which keeps a disassembled window of recent
+//     instructions for divergence reports;
+//
+//   - a lock-step differential runner (RunDiff): it executes one program
+//     on the full DTSVLIW machine and, through the machine's
+//     CheckpointHook, advances the reference interpreter at every commit
+//     checkpoint (per Primary instruction, per block boundary, per trace
+//     exit, per rollback), diffing registers, condition codes, PC,
+//     journaled memory and trap output, plus a full final-state
+//     comparison at halt — entirely independent of the machine's own
+//     TestMode machinery;
+//
+//   - a property-based conformance driver (Sweep): it generates seeded
+//     random programs in every internal/progen shape (mixed,
+//     branch-heavy, load/store-aliasing, multicycle-op), runs each
+//     through the differential runner on a rotating set of machine
+//     configurations, and shrinks any failing program to a minimal
+//     reproducer printed as re-runnable assembly plus its seed.
+//
+// The cmd/dtsvliw-oracle command exposes the sweep for local runs and CI.
+package oracle
+
+import (
+	"fmt"
+
+	"dtsvliw/internal/arch"
+	"dtsvliw/internal/asm"
+	"dtsvliw/internal/mem"
+)
+
+// Memory layout shared by both machines of a differential run (the same
+// layout the simulator facade and the core tests use).
+const (
+	stackBase  = 0x7E000
+	stackSize  = 0x2000
+	initialSP  = 0x7FF00
+	defaultWin = 8
+)
+
+// BuildState assembles source and loads it into a fresh architectural
+// state with the standard stack mapping.
+func BuildState(source string, nwin int) (*arch.State, error) {
+	if nwin <= 0 {
+		nwin = defaultWin
+	}
+	p, err := asm.Assemble(source)
+	if err != nil {
+		return nil, err
+	}
+	m := mem.NewMemory()
+	p.Load(m)
+	m.Map(stackBase, stackSize)
+	st := arch.NewState(nwin, m)
+	st.PC = p.Entry
+	st.SetReg(14, initialSP) // %sp
+	st.SetTextRange(p.TextBase, p.TextSize)
+	return st, nil
+}
+
+// ProgramError reports that the program itself is faulty (it does not
+// assemble, faults sequentially, or exceeds its budget on the reference) —
+// as opposed to a machine divergence.
+type ProgramError struct {
+	Stage string // "assemble", "reference", "machine"
+	Err   error
+}
+
+func (e *ProgramError) Error() string {
+	return fmt.Sprintf("oracle: %s: %v", e.Stage, e.Err)
+}
+
+func (e *ProgramError) Unwrap() error { return e.Err }

@@ -1,0 +1,84 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"dtsvliw/internal/arch"
+)
+
+// contextWindow is the number of recently retired reference instructions
+// kept for divergence reports.
+const contextWindow = 16
+
+// Ref is the oracle's reference interpreter: a strictly sequential SPARC
+// V7 machine over internal/arch state with no scheduling, no VLIW Cache
+// and no speculation. It remembers the last few retired instructions so a
+// divergence report can show the disassembled neighbourhood of the fault.
+type Ref struct {
+	St *arch.State
+
+	ring [contextWindow]refStep
+	n    uint64 // total retired since construction
+}
+
+type refStep struct {
+	pc   uint32
+	text string
+}
+
+// NewRef builds a reference interpreter for source with nwin register
+// windows (the standard layout of BuildState).
+func NewRef(source string, nwin int) (*Ref, error) {
+	st, err := BuildState(source, nwin)
+	if err != nil {
+		return nil, err
+	}
+	st.LogStores = true
+	return &Ref{St: st}, nil
+}
+
+// Step retires exactly one instruction sequentially and records it in the
+// context ring. Stepping a halted machine is an error: the oracle calls
+// Step only when the DTSVLIW claims to have committed an instruction, so
+// "reference already halted" means the machines disagree about program
+// length.
+func (r *Ref) Step() error {
+	if r.St.Halted {
+		return fmt.Errorf("reference halted after %d instructions but the machine kept committing", r.n)
+	}
+	pc := r.St.PC
+	in, _, err := r.St.StepOutcome()
+	if err != nil {
+		return err
+	}
+	r.ring[r.n%contextWindow] = refStep{pc: pc, text: in.Disasm(pc)}
+	r.n++
+	return nil
+}
+
+// Retired returns the number of instructions the reference has retired.
+func (r *Ref) Retired() uint64 { return r.n }
+
+// Context renders the disassembled window of recently retired reference
+// instructions, most recent last. The final line is the instruction whose
+// commit diverged (or the last one before the machines disagreed).
+func (r *Ref) Context() string {
+	if r.n == 0 {
+		return "  (no instructions retired yet)"
+	}
+	var b strings.Builder
+	count := r.n
+	if count > contextWindow {
+		count = contextWindow
+	}
+	for i := r.n - count; i < r.n; i++ {
+		s := r.ring[i%contextWindow]
+		marker := "  "
+		if i == r.n-1 {
+			marker = "=>"
+		}
+		fmt.Fprintf(&b, "%s [%6d] %#08x  %s\n", marker, i+1, s.pc, s.text)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

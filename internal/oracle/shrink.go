@@ -1,0 +1,69 @@
+package oracle
+
+import "strings"
+
+// defaultShrinkEvals bounds the number of candidate runs one shrink may
+// spend; each candidate is a full differential run, so the budget keeps
+// shrinking cheap relative to the sweep itself.
+const defaultShrinkEvals = 400
+
+// Shrink reduces source to a smaller assembly program for which check
+// still returns true, using delta debugging (ddmin) at line granularity.
+// check must treat a program that fails to assemble as uninteresting
+// (return false); dropping a label or directive simply makes that
+// candidate a dead end. maxEvals bounds the number of check calls
+// (<= 0 selects the default budget). The result always satisfies check —
+// in the worst case it is source itself, which callers must ensure is
+// interesting before shrinking.
+func Shrink(source string, check func(string) bool, maxEvals int) string {
+	if maxEvals <= 0 {
+		maxEvals = defaultShrinkEvals
+	}
+	lines := strings.Split(source, "\n")
+	evals := 0
+	ok := func(cand []string) bool {
+		if evals >= maxEvals {
+			return false
+		}
+		evals++
+		return check(strings.Join(cand, "\n"))
+	}
+
+	n := 2 // granularity: number of chunks the program is cut into
+	for len(lines) >= 2 && evals < maxEvals {
+		chunk := (len(lines) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(lines); start += chunk {
+			end := start + chunk
+			if end > len(lines) {
+				end = len(lines)
+			}
+			cand := make([]string, 0, len(lines)-(end-start))
+			cand = append(cand, lines[:start]...)
+			cand = append(cand, lines[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if ok(cand) {
+				// The complement still fails: keep it and re-cut at a
+				// coarser granularity relative to the smaller program.
+				lines = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(lines) {
+				break // already at single-line granularity; minimal
+			}
+			n *= 2
+			if n > len(lines) {
+				n = len(lines)
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -17,11 +17,71 @@ import (
 	"strings"
 )
 
+// Shape selects a program-shape bias: which hazard family the generator
+// concentrates on. The differential oracle (internal/oracle) sweeps every
+// shape; ShapeMixed is the historical balanced default.
+type Shape uint8
+
+// Program shapes.
+const (
+	// ShapeMixed is the balanced hazard mix (the original generator).
+	ShapeMixed Shape = iota
+	// ShapeBranchy concentrates on control flow: dense conditional
+	// branches sharing condition codes (several branches per block, tag
+	// annulment), nested loops and calls.
+	ShapeBranchy
+	// ShapeAliasing concentrates on memory: store/load pairs whose
+	// data-dependent addresses collide only on some paths, and mixed-size
+	// accesses that partially overlap.
+	ShapeAliasing
+	// ShapeMulticycle concentrates on latency: dependent floating-point
+	// chains, divisions and load-use sequences, exercising the multicycle
+	// scheduling and delayed-commit machinery.
+	ShapeMulticycle
+
+	numShapes
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeMixed:
+		return "mixed"
+	case ShapeBranchy:
+		return "branchy"
+	case ShapeAliasing:
+		return "aliasing"
+	case ShapeMulticycle:
+		return "multicycle"
+	}
+	return fmt.Sprintf("shape(%d)", uint8(s))
+}
+
+// Shapes lists every program shape.
+func Shapes() []Shape {
+	out := make([]Shape, numShapes)
+	for i := range out {
+		out[i] = Shape(i)
+	}
+	return out
+}
+
+// ShapeByName resolves a shape name ("mixed", "branchy", "aliasing",
+// "multicycle").
+func ShapeByName(name string) (Shape, bool) {
+	for _, s := range Shapes() {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // Params controls generation.
 type Params struct {
 	Seed     int64
 	Items    int // top-level statement budget
 	MaxDepth int // loop/call nesting bound
+	Shape    Shape
 	// Mem enables load/store generation; FP enables floating point;
 	// Calls enables function calls; Traps enables putchar traps.
 	Mem, FP, Calls, Traps bool
@@ -30,6 +90,28 @@ type Params struct {
 // DefaultParams returns a balanced workload for the given seed.
 func DefaultParams(seed int64) Params {
 	return Params{Seed: seed, Items: 40, MaxDepth: 3, Mem: true, FP: true, Calls: true, Traps: true}
+}
+
+// ShapeParams returns tuned parameters for the given shape and seed.
+func ShapeParams(s Shape, seed int64) Params {
+	p := DefaultParams(seed)
+	p.Shape = s
+	switch s {
+	case ShapeBranchy:
+		p.Items = 55
+		p.FP = false
+		p.Traps = false
+	case ShapeAliasing:
+		p.Items = 55
+		p.FP = false
+		p.Calls = false
+		p.Traps = false
+	case ShapeMulticycle:
+		p.Items = 50
+		p.Calls = false
+		p.Traps = false
+	}
+	return p
 }
 
 type gen struct {
@@ -100,8 +182,23 @@ func (g *gen) program() string {
 	return g.b.String()
 }
 
-// item emits one random statement at the given nesting depth.
+// item emits one random statement at the given nesting depth, with the
+// distribution of the configured shape.
 func (g *gen) item(depth int) {
+	switch g.p.Shape {
+	case ShapeBranchy:
+		g.branchyItem(depth)
+	case ShapeAliasing:
+		g.aliasingItem(depth)
+	case ShapeMulticycle:
+		g.multicycleItem(depth)
+	default:
+		g.mixedItem(depth)
+	}
+}
+
+// mixedItem is the balanced historical distribution (ShapeMixed).
+func (g *gen) mixedItem(depth int) {
 	roll := g.rng.Intn(100)
 	switch {
 	case roll < 40:
@@ -125,6 +222,70 @@ func (g *gen) item(depth int) {
 		g.emit("nop")
 	default:
 		g.mulStep()
+	}
+}
+
+// branchyItem biases towards control flow: conditional skips, paired
+// branches over one set of condition codes (several branches per long
+// instruction, exercising tag annulment) and nested loops.
+func (g *gen) branchyItem(depth int) {
+	roll := g.rng.Intn(100)
+	switch {
+	case roll < 30:
+		g.condSkip(depth)
+	case roll < 50:
+		g.ccBranchPair()
+	case roll < 70 && depth < g.p.MaxDepth:
+		g.loop(depth)
+	case roll < 78 && g.p.Calls && depth < g.p.MaxDepth:
+		g.emit("call fn_%d", g.rng.Intn(3))
+		g.emit("nop")
+	case roll < 95:
+		g.alu()
+	default:
+		g.mulStep()
+	}
+}
+
+// aliasingItem biases towards memory hazards: reorderable store/load
+// pairs whose runtime addresses sometimes collide, partially overlapping
+// mixed-size accesses, and plain memory traffic.
+func (g *gen) aliasingItem(depth int) {
+	roll := g.rng.Intn(100)
+	switch {
+	case roll < 30:
+		g.aliasPair()
+	case roll < 45:
+		g.overlapMem()
+	case roll < 65:
+		g.memOp()
+	case roll < 75 && depth < g.p.MaxDepth:
+		g.loop(depth)
+	case roll < 83:
+		g.condSkip(depth)
+	default:
+		g.alu()
+	}
+}
+
+// multicycleItem biases towards latency: dependent floating-point chains
+// (including division) and load-use sequences whose consumers sit inside
+// the producer's latency shadow.
+func (g *gen) multicycleItem(depth int) {
+	roll := g.rng.Intn(100)
+	switch {
+	case roll < 30 && g.p.FP:
+		g.fpChain()
+	case roll < 50 && g.p.Mem:
+		g.loadUse()
+	case roll < 62 && g.p.FP:
+		g.fpOp()
+	case roll < 72 && depth < g.p.MaxDepth:
+		g.loop(depth)
+	case roll < 80:
+		g.condSkip(depth)
+	default:
+		g.alu()
 	}
 }
 
@@ -217,6 +378,90 @@ func (g *gen) fpOp() {
 	if g.rng.Intn(4) == 0 {
 		g.emit("fstoi %%f%d, %%f%d", f(), f())
 		g.emit("fitos %%f%d, %%f%d", f(), f())
+	}
+}
+
+// ccBranchPair emits one compare followed by two conditional branches
+// consuming the same condition codes, so blocks carry several branches and
+// the VLIW Engine's tag system must annul correctly on either deviation.
+func (g *gen) ccBranchPair() {
+	conds := []string{"e", "ne", "g", "le", "ge", "l", "gu", "leu", "cc", "cs", "pos", "neg"}
+	g.emit("cmp %s, %s", g.reg(), g.reg())
+	l1 := g.newLabel("bp")
+	g.emit("b%s %s", conds[g.rng.Intn(len(conds))], l1)
+	g.alu()
+	g.b.WriteString(l1 + ":\n")
+	l2 := g.newLabel("bp")
+	g.emit("b%s %s", conds[g.rng.Intn(len(conds))], l2)
+	g.alu()
+	g.alu()
+	g.b.WriteString(l2 + ":\n")
+}
+
+// aliasPair emits a store through a data-dependent pointer next to a load
+// (or store) at a fixed offset: the scheduler sees one pair of addresses
+// at schedule time, the VLIW Engine may see another at run time, and the
+// two collide only on some paths — the paper's §3.10 aliasing hazard.
+func (g *gen) aliasPair() {
+	ra := g.reg()
+	g.emit("and %s, 0xFC, %s", g.reg(), ra)
+	fixed := 4 * g.rng.Intn(64)
+	switch g.rng.Intn(3) {
+	case 0:
+		g.emit("st %s, [%%g6+%s]", g.reg(), ra)
+		g.emit("ld [%%g6+%d], %s", fixed, g.reg())
+	case 1:
+		g.emit("st %s, [%%g6+%d]", g.reg(), fixed)
+		g.emit("ld [%%g6+%s], %s", ra, g.reg())
+	default:
+		g.emit("st %s, [%%g6+%s]", g.reg(), ra)
+		g.emit("st %s, [%%g6+%d]", g.reg(), fixed)
+	}
+}
+
+// overlapMem emits mixed-size accesses to nearby offsets so that byte and
+// halfword operations partially overlap a word slot (the address-overlap
+// comparisons of the load/store lists are range checks, not equality).
+func (g *gen) overlapMem() {
+	base := 4 * g.rng.Intn(8)
+	g.emit("st %s, [%%g6+%d]", g.reg(), base)
+	g.emit("stb %s, [%%g6+%d]", g.reg(), base+g.rng.Intn(4))
+	g.emit("ld [%%g6+%d], %s", base, g.reg())
+	g.emit("ldsh [%%g6+%d], %s", base+2*g.rng.Intn(2), g.reg())
+}
+
+// loadUse emits a load immediately consumed by ALU instructions, placing
+// the consumers inside the load's latency shadow under the multicycle
+// configurations.
+func (g *gen) loadUse() {
+	ra := g.reg()
+	g.emit("and %s, 0xFC, %s", g.reg(), ra)
+	rd := g.reg()
+	g.emit("ld [%%g6+%s], %s", ra, rd)
+	g.emit("add %s, %s, %s", rd, g.reg(), g.reg())
+	if g.rng.Intn(2) == 0 {
+		g.emit("xorcc %s, %s, %s", rd, g.reg(), g.reg())
+	}
+}
+
+// fpChain emits a dependent floating-point chain, occasionally ending in a
+// division or a compare, so multicycle FP latencies stack up on one value.
+func (g *gen) fpChain() {
+	ops := []string{"fadds", "fsubs", "fmuls"}
+	f := func() int { return g.rng.Intn(8) }
+	d := f()
+	g.emit("%s %%f%d, %%f%d, %%f%d", ops[g.rng.Intn(len(ops))], f(), f(), d)
+	g.emit("%s %%f%d, %%f%d, %%f%d", ops[g.rng.Intn(len(ops))], d, f(), d)
+	if g.rng.Intn(3) == 0 {
+		g.emit("fdivs %%f%d, %%f%d, %%f%d", f(), d, f())
+	}
+	if g.rng.Intn(3) == 0 {
+		lbl := g.newLabel("fchain")
+		g.emit("fcmps %%f%d, %%f%d", d, f())
+		fconds := []string{"e", "ne", "l", "g", "le", "ge"}
+		g.emit("fb%s %s", fconds[g.rng.Intn(len(fconds))], lbl)
+		g.alu()
+		g.b.WriteString(lbl + ":\n")
 	}
 }
 

@@ -49,6 +49,52 @@ func TestGeneratedProgramsTerminate(t *testing.T) {
 	}
 }
 
+// TestShapesTerminate: every shape generates assemblable programs that
+// halt, and the shapes actually emit their signature hazards.
+func TestShapesTerminate(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	for _, shape := range Shapes() {
+		t.Run(shape.String(), func(t *testing.T) {
+			for seed := int64(0); seed < int64(n); seed++ {
+				src := Generate(ShapeParams(shape, seed))
+				prog, err := asm.Assemble(src)
+				if err != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, err, src)
+				}
+				m := mem.NewMemory()
+				prog.Load(m)
+				m.Map(0x7F000, 0x1000)
+				st := arch.NewState(8, m)
+				st.PC = prog.Entry
+				st.SetReg(14, 0x7FF00)
+				st.SetTextRange(prog.TextBase, prog.TextSize)
+				if err := st.Run(5_000_000); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !st.Halted {
+					t.Fatalf("seed %d: did not halt", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestShapeNames: shape names round-trip through ShapeByName.
+func TestShapeNames(t *testing.T) {
+	for _, s := range Shapes() {
+		got, ok := ShapeByName(s.String())
+		if !ok || got != s {
+			t.Fatalf("shape %v does not round-trip (%v, %v)", s, got, ok)
+		}
+	}
+	if _, ok := ShapeByName("nonsense"); ok {
+		t.Fatal("bogus shape name resolved")
+	}
+}
+
 // TestDeterminism: the same seed generates the same program and the same
 // architectural result.
 func TestDeterminism(t *testing.T) {

@@ -111,6 +111,60 @@ start:
 	}
 }
 
+// TestLatencyWAWSeparation: a younger writer of a multicycle load's
+// destination must land where the engine commits it at or after the
+// load's delayed writeback (which a commit-order tie resolves in the
+// younger value's favour) — at least latency-1 elements below the load.
+// Regression: the write-ordering check only looked at the tail element,
+// so the in-flight load clobbered the younger value.
+func TestLatencyWAWSeparation(t *testing.T) {
+	src := `
+	.data 0x40000
+v:	.word 7
+	.text 0x1000
+start:
+	set v, %l0
+	ld [%l0], %o1
+	srl %g1, 2, %o1
+	ta 0
+`
+	for _, lat := range []int{2, 3, 4} {
+		u, _, _ := feed(t, cfgLat(lat), src, 4)
+		var ldSlot *Slot
+		ldElem := -1
+		for i, e := range u.elems {
+			for _, s := range e.slots {
+				if s != nil && !s.IsCopy && s.Inst.Op.String() == "ld" {
+					ldSlot, ldElem = s, i
+				}
+			}
+		}
+		if ldSlot == nil {
+			t.Fatalf("lat %d: load missing\n%s", lat, u.Dump())
+		}
+		// The architectural writeback of the srl is either the srl itself
+		// or, if it was split on the way up, the copy left behind.
+		wrElem := -1
+		for i, e := range u.elems {
+			for _, s := range e.slots {
+				if s == nil || s == ldSlot {
+					continue
+				}
+				if overlapAny(s.writes, ldSlot.writes) && i > wrElem {
+					wrElem = i
+				}
+			}
+		}
+		if wrElem < 0 {
+			t.Fatalf("lat %d: no architectural writer of the load's destination\n%s", lat, u.Dump())
+		}
+		if wrElem-ldElem < lat-1 {
+			t.Fatalf("lat %d: younger writer only %d elements below the load; the delayed writeback would clobber it\n%s",
+				lat, wrElem-ldElem, u.Dump())
+		}
+	}
+}
+
 // TestFlushOnLatencyOverflow: when padding would exceed the block height,
 // the block flushes and the consumer starts a new block.
 func TestFlushOnLatencyOverflow(t *testing.T) {

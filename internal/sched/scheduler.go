@@ -203,6 +203,59 @@ func (u *Scheduler) trueDepBlocked(cand *Slot, target int) bool {
 	return false
 }
 
+// wawBlocked reports whether element target cannot hold cand because of a
+// write-ordering hazard: an installed slot writing one of cand's write
+// locations either shares the target element (two writes to one location
+// cannot share a long instruction) or is an in-flight multicycle producer
+// whose writeback lands strictly after cand's own (the delayed commit
+// would clobber the younger value). With all latencies 1 this reduces to
+// the paper's output-dependency rule against the tail element.
+func (u *Scheduler) wawBlocked(cand *Slot, target int) bool {
+	cl := cand.LatOr1()
+	lo := target - u.cfg.MaxLatency() + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for j := lo; j <= target && j < len(u.elems); j++ {
+		for _, w := range u.elems[j].slots {
+			if w == nil || w == cand {
+				continue
+			}
+			if j != target && j+w.LatOr1() <= target+cl {
+				continue // producer's writeback lands at or before cand's
+			}
+			if overlapAny(cand.writes, w.writes) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wawCopyUnsafe reports whether moving cand out of element elemIdx is
+// unsafe even with a split: an in-flight producer of one of cand's write
+// locations commits strictly after the copy instruction (which stays
+// behind in elemIdx) would, so renaming cannot restore write order and
+// the candidate must be installed instead. Only latencies of three or
+// more cycles can reach past the copy.
+func (u *Scheduler) wawCopyUnsafe(cand *Slot, elemIdx int) bool {
+	lo := elemIdx - u.cfg.MaxLatency() + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for j := lo; j < elemIdx && j < len(u.elems); j++ {
+		for _, w := range u.elems[j].slots {
+			if w == nil || w == cand || j+w.LatOr1()-1 <= elemIdx {
+				continue
+			}
+			if overlapAny(cand.writes, w.writes) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // horizonOutputConflicts returns the candidate's write locations that
 // collide with an in-flight producer whose completion would land at or
 // after the candidate's (write-ordering hazard); such outputs must be
@@ -382,7 +435,13 @@ func (u *Scheduler) split(cand *Slot, e *element, slotIdx int, conflicted []isa.
 		copySlot.writes = append(copySlot.writes, w)
 	}
 	cand.writes = remaining
-	e.slots[slotIdx] = copySlot
+	if u.cfg.FaultDropCopy {
+		// Fault injection (oracle meta-test): lose the copy instruction,
+		// leaving the renamed values stranded in the renaming registers.
+		e.slots[slotIdx] = nil
+	} else {
+		e.slots[slotIdx] = copySlot
+	}
 	u.splits++
 	u.Stats.Splits++
 }
@@ -421,8 +480,10 @@ func (u *Scheduler) Insert(c Completed) (*Block, error) {
 			} else {
 				u.newElement()
 				// Multicycle producers may require further padding
-				// elements before the candidate's reads are satisfied.
-				for u.trueDepBlocked(cand, len(u.elems)-1) {
+				// elements before the candidate's reads are satisfied and
+				// in-flight writebacks of its output locations have landed.
+				for u.trueDepBlocked(cand, len(u.elems)-1) ||
+					u.wawBlocked(cand, len(u.elems)-1) {
 					if len(u.elems) >= u.cfg.Height {
 						flushed = u.flush(c.Addr, c.Seq)
 						u.startBlock(c)
@@ -463,8 +524,7 @@ func (u *Scheduler) needsNewElement(cand *Slot, tail *element) bool {
 	if u.trueDepBlocked(cand, t) {
 		return true
 	}
-	tw := elemWrites(tail, -1)
-	if overlapAny(cand.writes, tw) {
+	if u.wawBlocked(cand, t) {
 		return true
 	}
 	return u.memSerialized(cand, tail, -1)
@@ -487,7 +547,8 @@ func (u *Scheduler) moveUp(cand *Slot, elemIdx, slotIdx int) {
 		// dependency horizon covers multicycle producers.
 		if u.trueDepBlocked(cand, elemIdx-1) ||
 			u.freeSlot(prev, cand.Inst.Class()) < 0 ||
-			u.memSerialized(cand, prev, -1) {
+			u.memSerialized(cand, prev, -1) ||
+			u.wawCopyUnsafe(cand, elemIdx) {
 			break
 		}
 

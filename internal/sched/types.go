@@ -262,6 +262,14 @@ type Config struct {
 	LoadLatency  int
 	FPLatency    int
 	FPDivLatency int
+
+	// FaultDropCopy is a deliberate fault-injection switch used only by
+	// the differential oracle's meta-test (internal/oracle): the scheduler
+	// drops the copy instruction a split leaves behind, so values
+	// redirected to renaming registers are never committed architecturally
+	// and VLIW execution diverges from sequential semantics. It exists to
+	// prove the oracle detects real scheduler bugs; never set it otherwise.
+	FaultDropCopy bool
 }
 
 // latencyOf returns the scheduling latency of an instruction under this

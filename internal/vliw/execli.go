@@ -176,6 +176,11 @@ func (e *Engine) ExecLI(line int) Result {
 	// Phase 4: commit. Non-memory writes and renaming registers commit at
 	// the end of the long instruction their producer's latency reaches
 	// (multicycle extension; with all-1 latencies everything commits now).
+	// In-flight writes from earlier long instructions land first: when an
+	// older producer's latency expires in the same long instruction in
+	// which a younger instruction writes the same location, program order
+	// requires the younger value to be the survivor.
+	e.commitDue(line)
 	for _, w := range writes {
 		if w.due <= line {
 			e.applyWrite(w.w)
@@ -196,7 +201,6 @@ func (e *Engine) ExecLI(line int) Result {
 			}
 		}
 	}
-	e.commitDue(line)
 	for _, ms := range pend {
 		if e.scheme == SchemeStoreList {
 			// Buffer in the data store list; memory is written at block

@@ -88,6 +88,31 @@ func TestCopyBypassesLatencyShadow(t *testing.T) {
 	}
 }
 
+// TestTieCommitYoungerWins: when an older producer's delayed writeback
+// comes due in the same long instruction in which a younger instruction
+// writes the same register, the younger (program-order-later) value must
+// survive. Regression: pending writes used to be applied after the
+// current long instruction's writes, letting the stale producer clobber
+// the younger result.
+func TestTieCommitYoungerWins(t *testing.T) {
+	st := newState()
+	st.SetReg(1, 41)
+	e := New(st)
+	// Older: 2-cycle producer of r2 in LI 0 (due = end of LI 1).
+	old := latSlot(isa.Inst{Op: isa.OpADD, Rd: 2, Rs1: 1, UseImm: true, Imm: 1}, 0x1000, 0, 2)
+	// Younger: single-cycle writer of r2 in LI 1 (commits at end of LI 1).
+	young := slot(isa.Inst{Op: isa.OpOR, Rd: 2, Rs1: 0, UseImm: true, Imm: 7}, 0x1004, 1)
+	e.BeginBlock(block(0x1000, []*sched.Slot{old}, []*sched.Slot{young}))
+	e.ExecLI(0)
+	if st.ReadReg(2) != 0 {
+		t.Fatal("2-cycle result visible after LI 0")
+	}
+	e.ExecLI(1)
+	if got := st.ReadReg(2); got != 7 {
+		t.Fatalf("r2 = %d after the tie commit, want the younger value 7", got)
+	}
+}
+
 // TestRecoveryDiscardsPending: an exception throws away in-flight delayed
 // writes.
 func TestRecoveryDiscardsPending(t *testing.T) {
