@@ -1,16 +1,22 @@
 // Command experiments regenerates the paper's tables and figures on the
 // reproduced DTSVLIW. With no flags it runs every experiment in the
-// paper's order and prints the result tables.
+// paper's order and prints the result tables, fanning independent
+// simulations out over all CPUs (-par 1 forces serial mode; output is
+// identical either way).
 //
 // Usage:
 //
-//	experiments [-run fig5,table3] [-max N] [-csv] [-v]
+//	experiments [-run fig5,table3] [-max N] [-csv] [-v] [-par N]
+//	            [-bench-out BENCH_SCHED.json]
+//	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dtsvliw/internal/experiments"
@@ -23,24 +29,93 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	test := flag.Bool("testmode", false, "run with the lockstep test machine (slow)")
+	par := flag.Int("par", 0, "simulation workers (0 = one per CPU, 1 = serial)")
+	benchOut := flag.String("bench-out", "",
+		"measure the benchmark matrix and write BENCH_SCHED.json to this path (skips -run)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 
-	o := experiments.Options{MaxInstrs: *max, TestMode: *test}
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+
+	o := experiments.Options{MaxInstrs: *max, TestMode: *test, Workers: *par}
 	if *verbose {
 		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
+
+	// exit routes every failure through the deferred profile writers
+	// (os.Exit inside main would skip them).
+	code := 0
+	exit := func(c int) { code = c }
+	defer func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		os.Exit(code)
+	}()
+
+	if *benchOut != "" {
+		rep, err := experiments.BenchSched(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			exit(1)
+			return
+		}
+		b, err := rep.WriteJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			exit(1)
+			return
+		}
+		if err := os.WriteFile(*benchOut, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			exit(1)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d entries)\n", *benchOut, len(rep.Entries))
+		return
+	}
+
 	for _, name := range strings.Split(*run, ",") {
 		name = strings.TrimSpace(name)
 		r, ok := experiments.Runner[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s)\n",
 				name, strings.Join(experiments.Order, ", "))
-			os.Exit(2)
+			exit(2)
+			return
 		}
 		t, err := r(o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
+			return
 		}
 		if *csv {
 			fmt.Print(t.CSV())

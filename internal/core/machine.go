@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dtsvliw/internal/arch"
+	"dtsvliw/internal/isa"
 	"dtsvliw/internal/mem"
 	"dtsvliw/internal/primary"
 	"dtsvliw/internal/sched"
@@ -48,6 +49,11 @@ type Machine struct {
 	pendingExcErr error
 
 	journal []arch.StoreRec // machine-side stores since the last sync
+
+	// effReads/effWrites are scratch buffers for pipeline pricing, reused
+	// across stepPrimary calls so footprint computation never allocates.
+	effReads  []isa.Loc
+	effWrites []isa.Loc
 
 	// BlockHook, when set, observes every block saved to the VLIW Cache
 	// (used by the -dumpblocks tool and by tests).
@@ -244,7 +250,9 @@ func (m *Machine) stepPrimary() error {
 		return err
 	}
 
-	cycles := m.pipe.Price(&in, in.Effects(cwpBefore, m.cfg.NWin, out.EA), out)
+	m.effReads, m.effWrites = in.EffectsAppend(cwpBefore, m.cfg.NWin, out.EA,
+		m.effReads[:0], m.effWrites[:0])
+	cycles := m.pipe.Price(&in, isa.Effects{Reads: m.effReads, Writes: m.effWrites}, out)
 	cycles += m.ic.Access(pc)
 	if out.HasEA {
 		cycles += m.dc.Access(out.EA)

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"dtsvliw/internal/arch"
+	"dtsvliw/internal/asm"
+	"dtsvliw/internal/core"
+	"dtsvliw/internal/isa"
+	"dtsvliw/internal/mem"
+	"dtsvliw/internal/progen"
+	"dtsvliw/internal/sched"
+	"dtsvliw/internal/workloads"
+)
+
+// This file produces BENCH_SCHED.json, the repo's performance-trajectory
+// baseline: simulator-side cost (wall time and heap allocation per
+// simulated instruction) alongside the simulated IPC, over a fixed matrix
+// of workloads×configurations and progen hazard shapes×seeds. Numbers are
+// machine-dependent; the committed file records one reference machine so
+// future hot-path changes have a trajectory to compare against (run
+// scripts/bench.sh to regenerate).
+
+// BenchEntry is one measured row of the benchmark matrix.
+type BenchEntry struct {
+	// Kind is "machine" (full DTSVLIW simulation of a workload) or
+	// "sched-feed" (pre-recorded trace replayed through the Scheduler
+	// Unit alone, mirroring BenchmarkSchedulerFeed).
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`   // workload or progen shape
+	Config string `json:"config"` // configuration label
+	Seed   int64  `json:"seed,omitempty"`
+	Instrs uint64 `json:"instrs"` // simulated instructions measured over
+
+	IPC            float64 `json:"ipc,omitempty"` // simulated IPC (machine runs)
+	NsPerInstr     float64 `json:"ns_per_instr"`
+	AllocsPerInstr float64 `json:"allocs_per_instr"`
+	BytesPerInstr  float64 `json:"bytes_per_instr"`
+}
+
+// BenchReport is the top-level BENCH_SCHED.json document.
+type BenchReport struct {
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Entries   []BenchEntry `json:"entries"`
+}
+
+// measure runs f once and reports wall time and heap allocation. Runs are
+// serial and preceded by a GC so ReadMemStats deltas attribute to f alone.
+func measure(f func() error) (elapsed time.Duration, allocs, bytes uint64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err = f()
+	elapsed = time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
+}
+
+// benchMachineConfigs is the fixed configuration matrix of the machine
+// rows: the feasible machine (Table 3) and the ideal 8x8 geometry (the
+// Figure 5/6/7 workhorse).
+func benchMachineConfigs() []struct {
+	label string
+	cfg   core.Config
+} {
+	return []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"feasible", core.FeasibleConfig()},
+		{"ideal-8x8", core.IdealConfig(8, 8)},
+	}
+}
+
+// benchFeedSeeds is the fixed seed list of the sched-feed rows.
+var benchFeedSeeds = []int64{1, 2, 3}
+
+const benchFeedInstrs = 40_000
+
+// BenchSched measures the benchmark matrix and returns the report.
+// Measurements are intentionally serial (Options.Workers is ignored):
+// parallel runs would contend for cache and allocator and corrupt the
+// per-run numbers.
+func BenchSched(o Options) (*BenchReport, error) {
+	rep := &BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, w := range workloads.All() {
+		for _, mc := range benchMachineConfigs() {
+			var m *core.Machine
+			elapsed, allocs, bytes, err := measure(func() error {
+				var err error
+				m, err = RunOne(w, mc.cfg, o)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", w.Name, mc.label, err)
+			}
+			n := m.Stats.Retired
+			if n == 0 {
+				return nil, fmt.Errorf("bench %s/%s: no instructions retired", w.Name, mc.label)
+			}
+			rep.Entries = append(rep.Entries, BenchEntry{
+				Kind: "machine", Name: w.Name, Config: mc.label, Instrs: n,
+				IPC:            m.Stats.IPC(),
+				NsPerInstr:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerInstr: float64(allocs) / float64(n),
+				BytesPerInstr:  float64(bytes) / float64(n),
+			})
+			o.note("bench %s/%s: %.0f ns/instr %.2f allocs/instr",
+				w.Name, mc.label, rep.Entries[len(rep.Entries)-1].NsPerInstr,
+				rep.Entries[len(rep.Entries)-1].AllocsPerInstr)
+		}
+	}
+	for _, shape := range progen.Shapes() {
+		for _, seed := range benchFeedSeeds {
+			entry, err := benchFeed(shape, seed)
+			if err != nil {
+				return nil, err
+			}
+			rep.Entries = append(rep.Entries, *entry)
+			o.note("bench feed %s seed %d: %.0f ns/instr %.2f allocs/instr",
+				shape, seed, entry.NsPerInstr, entry.AllocsPerInstr)
+		}
+	}
+	return rep, nil
+}
+
+// feedConfig is the scheduler geometry of the sched-feed rows: the
+// feasible machine's 10x8 block and heterogeneous functional units, with
+// the multicycle extension active for the multicycle shape.
+func feedConfig(shape progen.Shape) sched.Config {
+	cfg := sched.Config{
+		Width: 10, Height: 8, NWin: 8,
+		FUs: []isa.FUClass{
+			isa.FUInt, isa.FUInt, isa.FUInt, isa.FUInt,
+			isa.FULoadStore, isa.FULoadStore,
+			isa.FUFloat, isa.FUFloat,
+			isa.FUBranch, isa.FUBranch,
+		},
+	}
+	if shape == progen.ShapeMulticycle {
+		cfg.LoadLatency = 2
+		cfg.FPLatency = 3
+		cfg.FPDivLatency = 8
+	}
+	return cfg
+}
+
+// benchFeed replays a pre-recorded progen trace through a Scheduler Unit
+// alone, isolating the insertion hot path from Primary Processor
+// execution (the Go twin of BenchmarkSchedulerFeed).
+func benchFeed(shape progen.Shape, seed int64) (*BenchEntry, error) {
+	src := progen.Generate(progen.ShapeParams(shape, seed))
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("bench feed %s seed %d: %w", shape, seed, err)
+	}
+	mm := mem.NewMemory()
+	p.Load(mm)
+	mm.Map(0x7E000, 0x2000)
+	st := arch.NewState(8, mm)
+	st.PC = p.Entry
+	st.SetReg(14, 0x7FF00)
+	st.SetTextRange(p.TextBase, p.TextSize)
+
+	type event struct {
+		flush bool
+		c     sched.Completed
+	}
+	var events []event
+	for i := 0; i < benchFeedInstrs && !st.Halted; i++ {
+		pc := st.PC
+		cwp := st.CWP()
+		in, out, err := st.StepOutcome()
+		if err != nil {
+			return nil, fmt.Errorf("bench feed %s seed %d step %d: %w", shape, seed, i, err)
+		}
+		if !in.IsSchedulable() {
+			events = append(events, event{flush: true, c: sched.Completed{Addr: pc, Seq: uint64(i)}})
+			continue
+		}
+		events = append(events, event{
+			c: sched.Completed{Inst: in, Addr: pc, CWP: cwp, Outcome: out, Seq: uint64(i)},
+		})
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("bench feed %s seed %d: empty trace", shape, seed)
+	}
+
+	u, err := sched.New(feedConfig(shape))
+	if err != nil {
+		return nil, err
+	}
+	// One warm-up pass populates the pools, then the measured pass sees
+	// the steady state the machine runs in.
+	replayEvents := func() error {
+		for i := range events {
+			ev := &events[i]
+			if ev.flush {
+				u.Flush(ev.c.Addr, ev.c.Seq)
+				continue
+			}
+			if _, err := u.Insert(ev.c); err != nil {
+				return err
+			}
+		}
+		u.Flush(0, uint64(len(events)))
+		return nil
+	}
+	if err := replayEvents(); err != nil {
+		return nil, err
+	}
+	const reps = 5
+	elapsed, allocs, bytes, err := measure(func() error {
+		for r := 0; r < reps; r++ {
+			if err := replayEvents(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := uint64(len(events)) * reps
+	return &BenchEntry{
+		Kind: "sched-feed", Name: shape.String(), Config: "feasible-10x8",
+		Seed: seed, Instrs: n,
+		NsPerInstr:     float64(elapsed.Nanoseconds()) / float64(n),
+		AllocsPerInstr: float64(allocs) / float64(n),
+		BytesPerInstr:  float64(bytes) / float64(n),
+	}, nil
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline.
+func (r *BenchReport) WriteJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -27,7 +27,12 @@ type Options struct {
 	// TestMode enables the lockstep test machine during experiments
 	// (slower; every experiment is also covered by tests).
 	TestMode bool
-	// Progress, if non-nil, receives one line per completed run.
+	// Workers sets the simulation worker-pool size: 0 uses one worker per
+	// CPU, 1 runs serially. Output is identical either way (see
+	// parallel.go).
+	Workers int
+	// Progress, if non-nil, receives one line per completed run, in
+	// deterministic job order.
 	Progress func(string)
 }
 
@@ -80,13 +85,21 @@ func Fig5(o Options) (*stats.Table, error) {
 	for _, g := range Fig5Geometries {
 		t.Columns = append(t.Columns, fmt.Sprintf("%dx%d", g[0], g[1]))
 	}
-	for _, w := range workloads.All() {
-		row := []interface{}{w.Name}
+	ws := workloads.All()
+	jobs := make([]runJob, 0, len(ws)*len(Fig5Geometries))
+	for _, w := range ws {
 		for _, g := range Fig5Geometries {
-			m, err := RunOne(w, core.IdealConfig(g[0], g[1]), o)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, runJob{w, core.IdealConfig(g[0], g[1])})
+		}
+	}
+	ms, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		row := []interface{}{w.Name}
+		for gi, g := range Fig5Geometries {
+			m := ms[wi*len(Fig5Geometries)+gi]
 			row = append(row, m.Stats.IPC())
 			o.note("fig5 %s %dx%d: IPC %.2f", w.Name, g[0], g[1], m.Stats.IPC())
 		}
@@ -108,15 +121,23 @@ func Fig6(o Options) (*stats.Table, error) {
 	for _, s := range Fig6Sizes {
 		t.Columns = append(t.Columns, fmt.Sprintf("%dKB", s))
 	}
-	for _, w := range workloads.All() {
-		row := []interface{}{w.Name}
+	ws := workloads.All()
+	jobs := make([]runJob, 0, len(ws)*len(Fig6Sizes))
+	for _, w := range ws {
 		for _, s := range Fig6Sizes {
 			cfg := core.IdealConfig(8, 8)
 			cfg.VCacheKB = s
-			m, err := RunOne(w, cfg, o)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, runJob{w, cfg})
+		}
+	}
+	ms, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		row := []interface{}{w.Name}
+		for si, s := range Fig6Sizes {
+			m := ms[wi*len(Fig6Sizes)+si]
 			row = append(row, m.Stats.IPC())
 			o.note("fig6 %s %dKB: IPC %.2f", w.Name, s, m.Stats.IPC())
 		}
@@ -144,17 +165,30 @@ func Fig7(o Options) (*stats.Table, error) {
 			t.Columns = append(t.Columns, fmt.Sprintf("%dKB/%d-way", s, a))
 		}
 	}
-	for _, w := range workloads.All() {
-		row := []interface{}{w.Name}
+	ws := workloads.All()
+	perW := len(Fig7Sizes) * len(Fig7Assocs)
+	jobs := make([]runJob, 0, len(ws)*perW)
+	for _, w := range ws {
 		for _, s := range Fig7Sizes {
 			for _, a := range Fig7Assocs {
 				cfg := core.IdealConfig(8, 8)
 				cfg.VCacheKB = s
 				cfg.VCacheAssoc = a
-				m, err := RunOne(w, cfg, o)
-				if err != nil {
-					return nil, err
-				}
+				jobs = append(jobs, runJob{w, cfg})
+			}
+		}
+	}
+	ms, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		row := []interface{}{w.Name}
+		i := wi * perW
+		for _, s := range Fig7Sizes {
+			for _, a := range Fig7Assocs {
+				m := ms[i]
+				i++
 				row = append(row, m.Stats.IPC())
 				o.note("fig7 %s %dKB/%d: IPC %.2f", w.Name, s, a, m.Stats.IPC())
 			}
@@ -194,14 +228,21 @@ func Fig8(o Options) (*stats.Table, error) {
 		},
 	}
 	cfgs := fig8Configs()
-	for _, w := range workloads.All() {
+	ws := workloads.All()
+	jobs := make([]runJob, 0, len(ws)*len(cfgs))
+	for _, w := range ws {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, runJob{w, cfg})
+		}
+	}
+	ms, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
 		ipcs := make([]float64, len(cfgs))
-		for i, cfg := range cfgs {
-			m, err := RunOne(w, cfg, o)
-			if err != nil {
-				return nil, err
-			}
-			ipcs[i] = m.Stats.IPC()
+		for i := range cfgs {
+			ipcs[i] = ms[wi*len(cfgs)+i].Stats.IPC()
 			o.note("fig8 %s cfg%d: IPC %.2f", w.Name, i, ipcs[i])
 		}
 		t.AddRow(w.Name, ipcs[0], ipcs[1], ipcs[2], ipcs[3], ipcs[4],
@@ -221,11 +262,17 @@ func Table3(o Options) (*stats.Table, error) {
 	}
 	var sumIPC, sumVLIW float64
 	n := 0
-	for _, w := range workloads.All() {
-		m, err := RunOne(w, core.FeasibleConfig(), o)
-		if err != nil {
-			return nil, err
-		}
+	ws := workloads.All()
+	jobs := make([]runJob, 0, len(ws))
+	for _, w := range ws {
+		jobs = append(jobs, runJob{w, core.FeasibleConfig()})
+	}
+	ms, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		m := ms[wi]
 		s := &m.Stats
 		t.AddRow(w.Name, s.IPC(),
 			s.Sched.MaxRenames[0], s.Sched.MaxRenames[1], s.Sched.MaxRenames[2],
@@ -270,37 +317,44 @@ func Fig9(o Options) (*stats.Table, error) {
 			"DTSVLIW VLIW Cache 216 KB; DIF cache 512x2 blocks (463 KB with exit maps)",
 		},
 	}
-	var sumD, sumF float64
-	n := 0
-	for _, w := range workloads.All() {
+	ws := workloads.All()
+	type pair struct{ dts, dif float64 }
+	res, err := mapPar(o.workers(), ws, func(w *workloads.Workload) (pair, error) {
 		m, err := RunOne(w, fig9DTSVLIWConfig(), o)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		dcfg := dif.Figure9Config()
 		dcfg.MaxInstrs = o.MaxInstrs
 		st, err := w.NewState(dcfg.NWin)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		dm, err := dif.New(dcfg, st)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		if err := dm.Run(); err != nil {
-			return nil, fmt.Errorf("dif %s: %w", w.Name, err)
+			return pair{}, fmt.Errorf("dif %s: %w", w.Name, err)
 		}
 		if st.Halted {
 			if err := w.Validate(st); err != nil {
-				return nil, err
+				return pair{}, err
 			}
 		}
-		t.AddRow(w.Name, m.Stats.IPC(), dm.Stats.IPC())
-		sumD += m.Stats.IPC()
-		sumF += dm.Stats.IPC()
-		n++
-		o.note("fig9 %s: DTSVLIW %.2f DIF %.2f", w.Name, m.Stats.IPC(), dm.Stats.IPC())
+		return pair{m.Stats.IPC(), dm.Stats.IPC()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	var sumD, sumF float64
+	for wi, w := range ws {
+		t.AddRow(w.Name, res[wi].dts, res[wi].dif)
+		sumD += res[wi].dts
+		sumF += res[wi].dif
+		o.note("fig9 %s: DTSVLIW %.2f DIF %.2f", w.Name, res[wi].dts, res[wi].dif)
+	}
+	n := len(ws)
 	t.AddRow("Average", sumD/float64(n), sumF/float64(n))
 	return t, nil
 }
@@ -375,15 +429,23 @@ func Extensions(o Options) (*stats.Table, error) {
 		func(c *core.Config) { c.LoadLatency = 2 },
 		func(c *core.Config) { c.LoadLatency = 4 },
 	}
-	for _, w := range workloads.All() {
-		row := []interface{}{w.Name}
-		for i, v := range variants {
+	ws := workloads.All()
+	jobs := make([]runJob, 0, len(ws)*len(variants))
+	for _, w := range ws {
+		for _, v := range variants {
 			cfg := core.IdealConfig(8, 8)
 			v(&cfg)
-			m, err := RunOne(w, cfg, o)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, runJob{w, cfg})
+		}
+	}
+	ms, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		row := []interface{}{w.Name}
+		for i := range variants {
+			m := ms[wi*len(variants)+i]
 			row = append(row, m.Stats.IPC())
 			o.note("ext %s variant %d: IPC %.2f", w.Name, i, m.Stats.IPC())
 		}

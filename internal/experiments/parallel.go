@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"dtsvliw/internal/core"
+	"dtsvliw/internal/workloads"
+)
+
+// Every simulation in a sweep is independent (fresh program image, memory
+// and machine per run) and deterministic, so the experiment runners fan
+// their workload×configuration grids out over a worker pool and reassemble
+// results positionally. Parallel output is byte-identical to serial output
+// by construction: results land at their job's index, progress notes and
+// table rows are emitted from the ordered result slice, and the
+// lowest-index error wins.
+
+// workers resolves Options.Workers: 0 means one worker per CPU, 1 forces
+// the serial path.
+func (o Options) workers() int {
+	if o.Workers == 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+// mapPar applies f to every item over a bounded worker pool and returns
+// the results in item order. With workers <= 1 it degenerates to a plain
+// loop. On error it returns the error of the lowest-index failing item
+// (the same one the serial loop would have hit first).
+func mapPar[T, R any](workers int, items []T, f func(T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i := range items {
+			r, err := f(items[i])
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	errs := make([]error, len(items))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = f(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runJob pairs one workload with one machine configuration.
+type runJob struct {
+	w   *workloads.Workload
+	cfg core.Config
+}
+
+// runAll executes the jobs over the worker pool and returns the finished
+// machines in job order.
+func runAll(o Options, jobs []runJob) ([]*core.Machine, error) {
+	return mapPar(o.workers(), jobs, func(j runJob) (*core.Machine, error) {
+		return RunOne(j.w, j.cfg, o)
+	})
+}

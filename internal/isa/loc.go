@@ -122,6 +122,16 @@ func RestoreCWP(cwp uint8, nwin int) uint8 { return uint8((int(cwp) + 1) % nwin)
 // during Primary Processor execution, per paper §3.9/§3.10).
 func (in *Inst) Effects(cwp uint8, nwin int, ea uint32) Effects {
 	var e Effects
+	e.Reads, e.Writes = in.EffectsAppend(cwp, nwin, ea, nil, nil)
+	return e
+}
+
+// EffectsAppend computes the same footprint as Effects but appends into
+// caller-provided slices, so hot paths (the Scheduler Unit's buildSlot,
+// the Primary Processor's pipeline pricing) can reuse scratch buffers
+// instead of allocating per instruction.
+func (in *Inst) EffectsAppend(cwp uint8, nwin int, ea uint32, reads, writes []Loc) ([]Loc, []Loc) {
+	e := Effects{Reads: reads, Writes: writes}
 	readR := func(r uint8) {
 		if p := PhysReg(cwp, r, nwin); p != 0 {
 			e.Reads = append(e.Reads, IReg(p))
@@ -310,5 +320,5 @@ func (in *Inst) Effects(cwp uint8, nwin int, ea uint32) Effects {
 			FReg(uint16(in.Rs2&^1)), FReg(uint16(in.Rs2|1)))
 		e.Writes = append(e.Writes, fcc)
 	}
-	return e
+	return e.Reads, e.Writes
 }

@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSigLoc draws one location, deliberately straying past the exact
+// encoding ranges now and then so the SigOver paths are exercised.
+func randSigLoc(r *rand.Rand) Loc {
+	switch r.Intn(8) {
+	case 0:
+		return IReg(uint16(r.Intn(SigIntWords*64 + 24)))
+	case 1:
+		return FReg(uint16(r.Intn(72)))
+	case 2:
+		return Loc{Kind: LocICC}
+	case 3:
+		return Loc{Kind: LocFCC}
+	case 4:
+		return Loc{Kind: LocY}
+	case 5:
+		return Loc{Kind: LocCWP}
+	case 6:
+		return MemLoc(uint32(r.Intn(256)), uint8(1+r.Intn(8)))
+	default:
+		// Renaming registers across every class, sometimes past the
+		// packed index range.
+		return Loc{Kind: LocRen, Idx: uint16(r.Intn(72)), Addr: uint32(r.Intn(6))}
+	}
+}
+
+func randFootprint(r *rand.Rand) []Loc {
+	n := r.Intn(6)
+	locs := make([]Loc, n)
+	for i := range locs {
+		locs[i] = randSigLoc(r)
+	}
+	return locs
+}
+
+func naiveOverlap(a, b []Loc) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Overlaps(y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestSigContract verifies the Sig soundness contract on random
+// footprints: Hit implies a real Loc overlap, and a miss with neither
+// side overflowed and at most one side holding memory excludes overlap.
+func TestSigContract(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		a, b := randFootprint(r), randFootprint(r)
+		var sa, sb Sig
+		sa.AddSet(a)
+		sb.AddSet(b)
+		naive := naiveOverlap(a, b)
+		if sa.Hit(&sb) && !naive {
+			t.Fatalf("Hit without Loc overlap:\n a=%v\n b=%v", a, b)
+		}
+		if !sa.Hit(&sb) && !sa.Over(&sb) && !sa.MemBoth(&sb) && naive {
+			t.Fatalf("missed overlap without escape flag:\n a=%v\n b=%v", a, b)
+		}
+	}
+}
+
+// TestSigMemBoth: memory intervals raise SigMem rather than faking bits,
+// and only mem-vs-mem queries need the interval compare.
+func TestSigMemBoth(t *testing.T) {
+	var m, q Sig
+	m.AddSet([]Loc{MemLoc(0x100, 4)})
+	q.AddSet([]Loc{MemLoc(0x102, 4)})
+	if m.Hit(&q) {
+		t.Fatal("memory intervals must not contribute exact bits")
+	}
+	if !m.MemBoth(&q) {
+		t.Fatal("MemBoth must flag a mem-vs-mem query")
+	}
+	var reg Sig
+	reg.AddSet([]Loc{IReg(5)})
+	if m.MemBoth(&reg) {
+		t.Fatal("MemBoth with only one memory side")
+	}
+}
+
+// TestSigOverflow: locations past the encoded ranges must raise SigOver.
+func TestSigOverflow(t *testing.T) {
+	cases := []Loc{
+		IReg(SigIntWords * 64),
+		FReg(64),
+		{Kind: LocRen, Idx: 64, Addr: 0},
+		{Kind: LocRen, Idx: 16, Addr: 1},
+		{Kind: LocRen, Idx: 0, Addr: 5},
+	}
+	for _, l := range cases {
+		var s Sig
+		s.Add(l)
+		if s.Flags&SigOver == 0 {
+			t.Errorf("Add(%v): SigOver not set", l)
+		}
+	}
+	var ok Sig
+	ok.AddSet([]Loc{IReg(SigIntWords*64 - 1), FReg(63),
+		{Kind: LocRen, Idx: 63, Addr: 0}, {Kind: LocRen, Idx: 15, Addr: 4}})
+	if ok.Flags&SigOver != 0 {
+		t.Error("in-range locations raised SigOver")
+	}
+}
+
+// TestSigOr: the OR of two signatures hits everything either side hits.
+func TestSigOr(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		a, b, q := randFootprint(r), randFootprint(r), randFootprint(r)
+		var sa, sb, sq Sig
+		sa.AddSet(a)
+		sb.AddSet(b)
+		sq.AddSet(q)
+		merged := sa
+		merged.Or(&sb)
+		if (sq.Hit(&sa) || sq.Hit(&sb)) != sq.Hit(&merged) {
+			t.Fatalf("Or lost or invented bits:\n a=%v\n b=%v\n q=%v", a, b, q)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"math/bits"
+
+	"dtsvliw/internal/isa"
+)
+
+// Allocation machinery of the Scheduler Unit hot path. The scheduler
+// recycles element structs across block flushes (blocks take a compact
+// copy of the slot grid, see flush), hands out Slot structs from chunked
+// arenas, and stores footprint Loc slices and rename-pair lists in rolling
+// arenas, so the steady-state insertion path performs no per-instruction
+// heap allocation beyond amortised chunk refills.
+
+const (
+	slotChunkSize = 256  // Slots per arena chunk
+	locChunkSize  = 4096 // footprint Locs per arena chunk
+	pairChunkSize = 1024 // RenamePairs per arena chunk
+)
+
+// newSlot returns a zeroed Slot from the free list or the arena chunk.
+func (u *Scheduler) newSlot() *Slot {
+	if n := len(u.slotFree); n > 0 {
+		s := u.slotFree[n-1]
+		u.slotFree = u.slotFree[:n-1]
+		return s
+	}
+	if len(u.slotChunk) == 0 {
+		u.slotChunk = make([]Slot, slotChunkSize)
+	}
+	s := &u.slotChunk[0]
+	u.slotChunk = u.slotChunk[1:]
+	return s
+}
+
+// releaseSlot recycles a Slot that never escaped into a block (e.g. a
+// candidate rebuilt after a flush started a fresh block). Its footprint
+// and rename-pair slices are arena-backed, so they are simply dropped.
+func (u *Scheduler) releaseSlot(s *Slot) {
+	*s = Slot{}
+	u.slotFree = append(u.slotFree, s)
+}
+
+// grabLocs copies a scratch footprint into the Loc arena and returns a
+// capacity-clamped slice owned by the caller (one amortised allocation per
+// locChunkSize locations instead of one per footprint).
+func (u *Scheduler) grabLocs(src []isa.Loc) []isa.Loc {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(u.locArena)-len(u.locArena) < len(src) {
+		n := locChunkSize
+		if len(src) > n {
+			n = len(src)
+		}
+		u.locArena = make([]isa.Loc, 0, n)
+	}
+	start := len(u.locArena)
+	u.locArena = append(u.locArena, src...)
+	out := u.locArena[start:]
+	return out[: len(out) : len(out)]
+}
+
+// grabPairs is grabLocs for rename-pair lists (Renames, SrcRenames,
+// Copies), which otherwise account for most steady-state allocations:
+// every split appends to slices of slots that escape into blocks.
+func (u *Scheduler) grabPairs(src []RenamePair) []RenamePair {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(u.pairArena)-len(u.pairArena) < len(src) {
+		n := pairChunkSize
+		if len(src) > n {
+			n = len(src)
+		}
+		u.pairArena = make([]RenamePair, 0, n)
+	}
+	start := len(u.pairArena)
+	u.pairArena = append(u.pairArena, src...)
+	out := u.pairArena[start:]
+	return out[: len(out) : len(out)]
+}
+
+// releaseElement resets an element and returns it to the pool. Its slot
+// pointers have already been copied into the flushed block's backing
+// array. The per-slot signature arrays need no reset: sigR/sigW entries
+// are written before every slot install that reads them.
+func (u *Scheduler) releaseElement(e *element) {
+	for i := range e.slots {
+		e.slots[i] = nil
+	}
+	e.branches = 0
+	e.occ, e.ctis, e.mems, e.stores, e.loads = 0, 0, 0, 0, 0
+	e.occMask = 0
+	e.rsig.Reset()
+	for lm := e.latMask; lm != 0; lm &= lm - 1 {
+		e.wsigLat[bits.TrailingZeros64(lm)].Reset()
+	}
+	e.latMask = 0
+	e.memW = e.memW[:0]
+	u.elemPool = append(u.elemPool, e)
+}

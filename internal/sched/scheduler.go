@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dtsvliw/internal/isa"
 )
@@ -9,47 +10,42 @@ import (
 // element is one scheduling-list entry: one long instruction under
 // construction. The candidate-instruction machinery of the hardware is
 // simulated by the insertion-time journey in Insert; settled slots are
-// "installed" in the paper's sense.
+// "installed" in the paper's sense. Alongside the slot grid the element
+// caches dependency signatures and occupancy aggregates of its installed
+// slots (see sig.go), which stand in for the paper's per-slot comparator
+// network: dependency queries test cached bitsets instead of scanning
+// footprints.
 type element struct {
 	slots    []*Slot
 	branches uint8 // conditional/indirect branches placed (tag counter)
+
+	// Per-slot dependency signatures, parallel to slots. A slot's entry is
+	// written when the slot is installed; entries of empty slots are stale
+	// and never read.
+	sigR []isa.Sig
+	sigW []isa.Sig
+
+	// Cached aggregates over installed slots (maintained by add/remove).
+	occ     int     // occupied slots
+	occMask uint64  // bit i set iff slots[i] != nil (Width ≤ 64, enforced by Validate)
+	slotLat []uint8 // per-slot producer latency, parallel to slots
+	ctis    int     // installed conditional/indirect branches
+	mems    int     // slots touching memory (incl. memory copies)
+	stores  int     // stores and memory copies (cohabitation rule)
+	loads   int     // loads (cohabitation rule)
+	rsig    isa.Sig    // OR of installed read signatures
+	wsigLat []isa.Sig  // write signatures bucketed by producer latency (1..maxLat)
+	latMask uint64     // bit l set iff wsigLat[l] is nonempty
+	memW    []memWrite // LocMem write intervals, with producer latency
 }
 
-func (e *element) hasStoreOrMemCopy() bool {
-	for _, s := range e.slots {
-		if s == nil {
-			continue
-		}
-		if s.IsStore && !s.MemRenamed {
-			return true
-		}
-		if s.IsCopy {
-			for _, c := range s.Copies {
-				if c.Loc.Kind == isa.LocMem {
-					return true
-				}
-			}
-		}
-	}
-	return false
-}
-
-func (e *element) hasLoad() bool {
-	for _, s := range e.slots {
-		if s != nil && !s.IsCopy && s.IsMem && !s.IsStore {
-			return true
-		}
-	}
-	return false
-}
-
-func (e *element) hasCondOrIndirectBranch() bool {
-	for _, s := range e.slots {
-		if s != nil && s.IsCondOrIndirectBranch() {
-			return true
-		}
-	}
-	return false
+// renEntry is one binding of the direct-mapped rename table: the renaming
+// register holding an architectural location's newest in-block value. A
+// binding is live only if its epoch matches the scheduler's current block
+// epoch, which makes clearing the table at block boundaries O(1).
+type renEntry struct {
+	reg   RenameReg
+	epoch uint64
 }
 
 // Scheduler is the Scheduler Unit. Feed it Completed instructions with
@@ -57,8 +53,10 @@ func (e *element) hasCondOrIndirectBranch() bool {
 // Flush for externally triggered flushes (VLIW Cache hit, non-schedulable
 // instruction).
 type Scheduler struct {
-	cfg   Config
-	elems []*element // index 0 is the scheduling-list head
+	cfg    Config
+	maxLat int
+	nPhys  int        // physical integer registers (rename-table geometry)
+	elems  []*element // index 0 is the scheduling-list head
 
 	blockTag   uint32
 	blockCWP   uint8
@@ -69,17 +67,55 @@ type Scheduler struct {
 	splits     int
 	currentCon bool
 
-	// renameMap tracks, per architectural location, the renaming register
-	// holding its newest value within the current block, so that later
-	// consumers read the renaming register directly (paper Figure 2).
-	// Memory locations are never forwarded (loads depend on the memory
-	// copy instead).
+	// Rename tracking (paper Figure 2): per architectural location, the
+	// renaming register holding its newest value within the current block,
+	// so that later consumers read the renaming register directly. Memory
+	// locations are never forwarded (loads depend on the memory copy
+	// instead). renTab is a direct-mapped epoch-stamped table covering
+	// every register and singleton location; renameMap is the fallback for
+	// locations outside the table's geometry (none in practice).
+	renTab    []renEntry
+	renEpoch  uint64
+	renLive   int // live renTab bindings in the current block
 	renameMap map[isa.Loc]RenameReg
+
+	// acceptMask, per FU class, has bit i set iff slot i accepts the
+	// class; free-slot lookup is then one AND-NOT against the element's
+	// occupancy mask.
+	acceptMask [isa.FUAny + 1]uint64
 
 	// conservative holds block tags (address plus entry window pointer)
 	// that must be scheduled without load/store reordering after an
 	// aliasing exception (paper §3.11).
 	conservative map[uint64]bool
+
+	// Candidate signatures: the packed footprints of the instruction
+	// currently journeying through Insert/moveUp (kept here, not in the
+	// Slot, so block-resident slots stay small).
+	candR isa.Sig
+	candW isa.Sig
+
+	// Allocation recycling (see pool.go).
+	elemPool  []*element
+	slotChunk []Slot
+	slotFree  []*Slot
+	locArena  []isa.Loc
+	pairArena []RenamePair
+
+	// Reusable scratch buffers for the insertion hot path. Each buffer is
+	// private to one phase of Insert/moveUp, so no two live uses alias.
+	scratchReads  []isa.Loc    // buildSlot: effects assembly
+	scratchWrites []isa.Loc    //
+	scratchLocs   []isa.Loc    // horizonOutputConflicts: horizon write set
+	scratchOut    []isa.Loc    // horizonOutputConflicts result
+	scratchAnti   []isa.Loc    // antiConflicts result
+	scratchConf   []isa.Loc    // moveUp: deduplicated conflict set
+	scratchRem    []isa.Loc    // split: surviving write set
+	scratchCpR    []isa.Loc    // split: copy-instruction reads
+	scratchCpW    []isa.Loc    // split: copy-instruction writes
+	scratchPairsA []RenamePair // buildSlot SrcRenames / split Renames
+	scratchPairsB []RenamePair // split Copies
+	scratchSig    isa.Sig      // antiConflicts: exclusion signature
 
 	Stats Stats
 }
@@ -89,7 +125,23 @@ func New(cfg Config) (*Scheduler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Scheduler{cfg: cfg, conservative: make(map[uint64]bool)}, nil
+	u := &Scheduler{
+		cfg:          cfg,
+		maxLat:       cfg.MaxLatency(),
+		nPhys:        isa.NumPhysRegs(cfg.NWin),
+		conservative: make(map[uint64]bool),
+		renameMap:    make(map[isa.Loc]RenameReg),
+		renEpoch:     1,
+	}
+	u.renTab = make([]renEntry, u.nPhys+64+renSingletons)
+	for cl := range u.acceptMask {
+		for i := 0; i < cfg.Width; i++ {
+			if cfg.slotAccepts(i, isa.FUClass(cl)) {
+				u.acceptMask[cl] |= 1 << i
+			}
+		}
+	}
+	return u, nil
 }
 
 // Config returns the scheduler's configuration.
@@ -110,9 +162,97 @@ func (u *Scheduler) MarkConservative(tag uint32, cwp uint8) {
 
 func conKey(tag uint32, cwp uint8) uint64 { return uint64(tag)<<8 | uint64(cwp) }
 
-// newElement appends a scheduling-list element.
+// renSingletons is the number of rename-table entries past the register
+// files: ICC, FCC, Y, CWP and LocNone.
+const renSingletons = 5
+
+// renIdx maps an architectural location to its rename-table index, or -1
+// for locations outside the table (memory, which is never forwarded, and
+// renaming registers, which are never architectural effects).
+func (u *Scheduler) renIdx(l isa.Loc) int {
+	switch l.Kind {
+	case isa.LocIReg:
+		if int(l.Idx) < u.nPhys {
+			return int(l.Idx)
+		}
+	case isa.LocFReg:
+		if l.Idx < 64 {
+			return u.nPhys + int(l.Idx)
+		}
+	case isa.LocICC:
+		return u.nPhys + 64
+	case isa.LocFCC:
+		return u.nPhys + 65
+	case isa.LocY:
+		return u.nPhys + 66
+	case isa.LocCWP:
+		return u.nPhys + 67
+	case isa.LocNone:
+		return u.nPhys + 68
+	}
+	return -1
+}
+
+// renSet binds location l to renaming register reg for the current block.
+func (u *Scheduler) renSet(l isa.Loc, reg RenameReg) {
+	if i := u.renIdx(l); i >= 0 {
+		if u.renTab[i].epoch != u.renEpoch {
+			u.renLive++
+		}
+		u.renTab[i] = renEntry{reg: reg, epoch: u.renEpoch}
+		return
+	}
+	u.renameMap[l] = reg
+}
+
+// renLookup returns the live binding of l, if any.
+func (u *Scheduler) renLookup(l isa.Loc) (RenameReg, bool) {
+	if i := u.renIdx(l); i >= 0 {
+		if u.renTab[i].epoch == u.renEpoch {
+			return u.renTab[i].reg, true
+		}
+		return RenameReg{}, false
+	}
+	reg, ok := u.renameMap[l]
+	return reg, ok
+}
+
+// renDelete retires the binding of l (its architectural location was
+// overwritten by a newer instruction).
+func (u *Scheduler) renDelete(l isa.Loc) {
+	if i := u.renIdx(l); i >= 0 {
+		if u.renTab[i].epoch == u.renEpoch {
+			u.renTab[i].epoch = 0
+			u.renLive--
+		}
+		return
+	}
+	if len(u.renameMap) > 0 {
+		delete(u.renameMap, l)
+	}
+}
+
+// renAny reports whether any binding is live in the current block.
+func (u *Scheduler) renAny() bool {
+	return u.renLive > 0 || len(u.renameMap) > 0
+}
+
+// newElement appends a scheduling-list element, recycling a pooled one
+// when available.
 func (u *Scheduler) newElement() *element {
-	e := &element{slots: make([]*Slot, u.cfg.Width)}
+	var e *element
+	if n := len(u.elemPool); n > 0 {
+		e = u.elemPool[n-1]
+		u.elemPool = u.elemPool[:n-1]
+	} else {
+		e = &element{
+			slots:   make([]*Slot, u.cfg.Width),
+			sigR:    make([]isa.Sig, u.cfg.Width),
+			sigW:    make([]isa.Sig, u.cfg.Width),
+			slotLat: make([]uint8, u.cfg.Width),
+			wsigLat: make([]isa.Sig, u.maxLat+1),
+		}
+	}
 	u.elems = append(u.elems, e)
 	return e
 }
@@ -120,15 +260,17 @@ func (u *Scheduler) newElement() *element {
 // freeSlot returns the index of a free slot in e compatible with class cl,
 // or -1.
 func (u *Scheduler) freeSlot(e *element, cl isa.FUClass) int {
-	for i, s := range e.slots {
-		if s == nil && u.cfg.slotAccepts(i, cl) {
-			return i
-		}
+	m := u.acceptMask[cl] &^ e.occMask
+	if m == 0 {
+		return -1
 	}
-	return -1
+	return bits.TrailingZeros64(m)
 }
 
-// overlapAny reports whether any location in a overlaps any in b.
+// overlapAny reports whether any location in a overlaps any in b: the
+// naive pairwise predicate the dependency signatures accelerate. It
+// remains the semantic reference (TestMaskOverlapMatchesNaive) and the
+// fallback for signatures that overflowed the exact encoding.
 func overlapAny(a, b []isa.Loc) bool {
 	for _, x := range a {
 		for _, y := range b {
@@ -140,53 +282,60 @@ func overlapAny(a, b []isa.Loc) bool {
 	return false
 }
 
-// conflictingWrites returns the candidate write locations that overlap
-// locs.
-func conflictingWrites(cand *Slot, locs []isa.Loc) []isa.Loc {
-	var out []isa.Loc
-	for _, w := range cand.writes {
-		for _, l := range locs {
-			if w.Overlaps(l) {
-				out = append(out, w)
-				break
-			}
-		}
-	}
-	return out
-}
-
-// elemReads/elemWrites gather footprints of installed slots, excluding the
-// candidate's own slot index (the hardware disables the comparators of the
-// companion slot, paper §3.7).
-func elemReads(e *element, exclude int) []isa.Loc {
-	var out []isa.Loc
-	for i, s := range e.slots {
-		if s == nil || i == exclude {
-			continue
-		}
-		out = append(out, s.reads...)
-	}
-	return out
-}
-
-func elemWrites(e *element, exclude int) []isa.Loc {
-	var out []isa.Loc
-	for i, s := range e.slots {
-		if s == nil || i == exclude {
-			continue
-		}
-		out = append(out, s.writes...)
-	}
-	return out
-}
-
 // trueDepBlocked reports whether the candidate may not occupy element
 // target: a producer in element j whose result arrives after target
 // (j + latency > target) writes one of the candidate's read locations.
 // With all latencies 1 this reduces to the paper's check against the
 // single element above (multicycle extension, companion study [14]).
+//
+// Fast path: the candidate's read signature (candR) is tested against
+// each horizon element's latency-bucketed write signatures; memory reads
+// are compared against the element's LocMem side table. The naive
+// per-slot scan runs only if a signature overflowed the exact encoding.
+// The candidate must not be installed in any scanned element (all call
+// sites check elements strictly above the candidate's position).
 func (u *Scheduler) trueDepBlocked(cand *Slot, target int) bool {
-	lo := target - u.cfg.MaxLatency() + 1
+	lo := target - u.maxLat + 1
+	if lo < 0 {
+		lo = 0
+	}
+	fallback := u.candR.Flags&isa.SigOver != 0
+	candMem := u.candR.Flags&isa.SigMem != 0
+	for j := lo; j <= target && j < len(u.elems); j++ {
+		e := u.elems[j]
+		if e.occ == 0 {
+			continue
+		}
+		minLat := target - j + 1
+		lm := e.latMask &^ (1<<uint(minLat) - 1)
+		for lm != 0 {
+			l := bits.TrailingZeros64(lm)
+			lm &= lm - 1
+			es := &e.wsigLat[l]
+			if u.candR.Hit(es) {
+				return true
+			}
+			if es.Flags&isa.SigOver != 0 {
+				fallback = true
+			}
+		}
+		if candMem {
+			for _, mw := range e.memW {
+				if int(mw.lat) >= minLat && memAnyOverlap(cand.reads, mw.loc) {
+					return true
+				}
+			}
+		}
+	}
+	if fallback {
+		return u.trueDepBlockedSlow(cand, target)
+	}
+	return false
+}
+
+// trueDepBlockedSlow is the naive per-slot scan (the semantic reference).
+func (u *Scheduler) trueDepBlockedSlow(cand *Slot, target int) bool {
+	lo := target - u.maxLat + 1
 	if lo < 0 {
 		lo = 0
 	}
@@ -212,7 +361,76 @@ func (u *Scheduler) trueDepBlocked(cand *Slot, target int) bool {
 // the paper's output-dependency rule against the tail element.
 func (u *Scheduler) wawBlocked(cand *Slot, target int) bool {
 	cl := cand.LatOr1()
-	lo := target - u.cfg.MaxLatency() + 1
+	lo := target - u.maxLat + 1
+	if lo < 0 {
+		lo = 0
+	}
+	fallback := u.candW.Flags&isa.SigOver != 0
+	candMem := u.candW.Flags&isa.SigMem != 0
+	for j := lo; j <= target && j < len(u.elems); j++ {
+		e := u.elems[j]
+		if e.occ == 0 {
+			continue
+		}
+		if j == target {
+			// Sharing the target element: every installed write conflicts,
+			// whatever its latency bucket.
+			lm := e.latMask
+			for lm != 0 {
+				l := bits.TrailingZeros64(lm)
+				lm &= lm - 1
+				es := &e.wsigLat[l]
+				if u.candW.Hit(es) {
+					return true
+				}
+				if es.Flags&isa.SigOver != 0 {
+					fallback = true
+				}
+			}
+			if candMem {
+				for _, mw := range e.memW {
+					if memAnyOverlap(cand.writes, mw.loc) {
+						return true
+					}
+				}
+			}
+			continue
+		}
+		// In-flight producer whose writeback lands strictly after cand's:
+		// j + lat > target + cl.
+		minLat := target + cl - j + 1
+		if minLat > u.maxLat {
+			continue
+		}
+		lm := e.latMask &^ (1<<uint(minLat) - 1)
+		for lm != 0 {
+			l := bits.TrailingZeros64(lm)
+			lm &= lm - 1
+			es := &e.wsigLat[l]
+			if u.candW.Hit(es) {
+				return true
+			}
+			if es.Flags&isa.SigOver != 0 {
+				fallback = true
+			}
+		}
+		if candMem {
+			for _, mw := range e.memW {
+				if int(mw.lat) >= minLat && memAnyOverlap(cand.writes, mw.loc) {
+					return true
+				}
+			}
+		}
+	}
+	if fallback {
+		return u.wawBlockedSlow(cand, target)
+	}
+	return false
+}
+
+func (u *Scheduler) wawBlockedSlow(cand *Slot, target int) bool {
+	cl := cand.LatOr1()
+	lo := target - u.maxLat + 1
 	if lo < 0 {
 		lo = 0
 	}
@@ -239,7 +457,53 @@ func (u *Scheduler) wawBlocked(cand *Slot, target int) bool {
 // the candidate must be installed instead. Only latencies of three or
 // more cycles can reach past the copy.
 func (u *Scheduler) wawCopyUnsafe(cand *Slot, elemIdx int) bool {
-	lo := elemIdx - u.cfg.MaxLatency() + 1
+	if u.maxLat < 3 {
+		return false // no latency can reach past the copy instruction
+	}
+	lo := elemIdx - u.maxLat + 1
+	if lo < 0 {
+		lo = 0
+	}
+	fallback := u.candW.Flags&isa.SigOver != 0
+	candMem := u.candW.Flags&isa.SigMem != 0
+	for j := lo; j < elemIdx && j < len(u.elems); j++ {
+		e := u.elems[j]
+		if e.occ == 0 {
+			continue
+		}
+		// Keep producers with j + lat - 1 > elemIdx.
+		minLat := elemIdx - j + 2
+		if minLat > u.maxLat {
+			continue
+		}
+		lm := e.latMask &^ (1<<uint(minLat) - 1)
+		for lm != 0 {
+			l := bits.TrailingZeros64(lm)
+			lm &= lm - 1
+			es := &e.wsigLat[l]
+			if u.candW.Hit(es) {
+				return true
+			}
+			if es.Flags&isa.SigOver != 0 {
+				fallback = true
+			}
+		}
+		if candMem {
+			for _, mw := range e.memW {
+				if int(mw.lat) >= minLat && memAnyOverlap(cand.writes, mw.loc) {
+					return true
+				}
+			}
+		}
+	}
+	if fallback {
+		return u.wawCopyUnsafeSlow(cand, elemIdx)
+	}
+	return false
+}
+
+func (u *Scheduler) wawCopyUnsafeSlow(cand *Slot, elemIdx int) bool {
+	lo := elemIdx - u.maxLat + 1
 	if lo < 0 {
 		lo = 0
 	}
@@ -259,13 +523,50 @@ func (u *Scheduler) wawCopyUnsafe(cand *Slot, elemIdx int) bool {
 // horizonOutputConflicts returns the candidate's write locations that
 // collide with an in-flight producer whose completion would land at or
 // after the candidate's (write-ordering hazard); such outputs must be
-// renamed by a split.
+// renamed by a split. The returned slice aliases a scratch buffer valid
+// until the next call.
+//
+// Fast path: signatures prove the common no-conflict case without
+// touching any slot; only when a conflict is possible does the exact
+// collection scan run (it allocates nothing either).
 func (u *Scheduler) horizonOutputConflicts(cand *Slot, target int) []isa.Loc {
-	lo := target - u.cfg.MaxLatency() + 1
+	lo := target - u.maxLat + 1
 	if lo < 0 {
 		lo = 0
 	}
-	var locs []isa.Loc
+	possible := u.candW.Flags&isa.SigOver != 0
+	candMem := u.candW.Flags&isa.SigMem != 0
+	for j := lo; j <= target && j < len(u.elems) && !possible; j++ {
+		e := u.elems[j]
+		if e.occ == 0 {
+			continue
+		}
+		minLat := target - j + 1
+		lm := e.latMask &^ (1<<uint(minLat) - 1)
+		for lm != 0 {
+			l := bits.TrailingZeros64(lm)
+			lm &= lm - 1
+			es := &e.wsigLat[l]
+			if u.candW.Hit(es) || es.Flags&isa.SigOver != 0 {
+				possible = true
+				break
+			}
+		}
+		if !possible && candMem {
+			for _, mw := range e.memW {
+				if int(mw.lat) >= minLat && memAnyOverlap(cand.writes, mw.loc) {
+					possible = true
+					break
+				}
+			}
+		}
+	}
+	if !possible {
+		return nil
+	}
+	// Exact collection, identical to the original implementation but into
+	// reusable scratch buffers.
+	locs := u.scratchLocs[:0]
 	for j := lo; j <= target && j < len(u.elems); j++ {
 		for _, w := range u.elems[j].slots {
 			if w == nil || w == cand || j+w.LatOr1() <= target {
@@ -274,26 +575,78 @@ func (u *Scheduler) horizonOutputConflicts(cand *Slot, target int) []isa.Loc {
 			locs = append(locs, w.writes...)
 		}
 	}
-	return conflictingWrites(cand, locs)
+	u.scratchLocs = locs
+	out := u.scratchOut[:0]
+	for _, w := range cand.writes {
+		for _, l := range locs {
+			if w.Overlaps(l) {
+				out = append(out, w)
+				break
+			}
+		}
+	}
+	u.scratchOut = out
+	return out
+}
+
+// antiConflicts returns the candidate's write locations that overlap the
+// read footprints of the other installed slots of cur (the hardware
+// disables the comparators of the companion slot, paper §3.7). The
+// returned slice aliases a scratch buffer valid until the next call.
+func (u *Scheduler) antiConflicts(cand *Slot, cur *element, slotIdx int) []isa.Loc {
+	// Quick reject against the element's full read signature (a superset
+	// of the exclusion set: it includes the candidate's own reads).
+	if !u.candW.Hit(&cur.rsig) && !u.candW.MemBoth(&cur.rsig) && !u.candW.Over(&cur.rsig) {
+		return nil
+	}
+	// The full signature intersected; rebuild the read signature without
+	// the candidate's own slot and retest.
+	ex := &u.scratchSig
+	ex.Reset()
+	for i, s := range cur.slots {
+		if s == nil || i == slotIdx {
+			continue
+		}
+		ex.Or(&cur.sigR[i])
+	}
+	if !u.candW.Hit(ex) && !u.candW.MemBoth(ex) && !u.candW.Over(ex) {
+		return nil
+	}
+	// Exact collection, ordered by the candidate's write set like the
+	// original conflictingWrites(cand, elemReads(cur, slotIdx)).
+	out := u.scratchAnti[:0]
+	for _, w := range cand.writes {
+		conflict := false
+		for i, s := range cur.slots {
+			if s == nil || i == slotIdx {
+				continue
+			}
+			for _, r := range s.reads {
+				if w.Overlaps(r) {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				break
+			}
+		}
+		if conflict {
+			out = append(out, w)
+		}
+	}
+	u.scratchAnti = out
+	return out
 }
 
 // memSerialized reports whether conservative scheduling forces an order
 // dependency between the candidate and element e: after an aliasing
 // exception the block keeps its loads and stores in insertion order by
-// treating every memory pair as dependent (paper §3.11).
-func (u *Scheduler) memSerialized(cand *Slot, e *element, exclude int) bool {
-	if !u.currentCon || cand.IsCopy || !cand.IsMem {
-		return false
-	}
-	for i, s := range e.slots {
-		if s == nil || i == exclude {
-			continue
-		}
-		if s.IsMem || (s.IsCopy && hasMemCopy(s)) {
-			return true
-		}
-	}
-	return false
+// treating every memory pair as dependent (paper §3.11). The candidate is
+// never installed in e at any call site, so the cached aggregate needs no
+// exclusion.
+func (u *Scheduler) memSerialized(cand *Slot, e *element) bool {
+	return u.currentCon && !cand.IsCopy && cand.IsMem && e.mems > 0
 }
 
 func hasMemCopy(s *Slot) bool {
@@ -308,32 +661,44 @@ func hasMemCopy(s *Slot) bool {
 // buildSlot constructs the Slot for a completed instruction, rewriting
 // source operands whose newest in-block value lives in a renaming
 // register, and retiring rename bindings superseded by this instruction's
-// architectural writes.
+// architectural writes. Footprints are assembled in scratch buffers and
+// stored in the Loc arena; the Slot itself comes from the slot pool. The
+// candidate signatures candR/candW are left describing the new slot.
 func (u *Scheduler) buildSlot(c Completed) *Slot {
-	s := &Slot{
-		Inst: c.Inst,
-		Addr: c.Addr,
-		CWP:  c.CWP,
-		Seq:  c.Seq,
-		Lat:  u.cfg.latencyOf(&c.Inst),
-	}
-	eff := c.Inst.Effects(c.CWP, u.cfg.NWin, c.Outcome.EA)
-	s.reads = eff.Reads
-	s.writes = eff.Writes
-	if len(u.renameMap) > 0 && !u.cfg.NoForwarding {
-		for i, r := range s.reads {
+	s := u.newSlot()
+	s.Inst = c.Inst
+	s.Addr = c.Addr
+	s.CWP = c.CWP
+	s.Seq = c.Seq
+	s.Lat = int32(u.cfg.latencyOf(&c.Inst))
+	reads, writes := c.Inst.EffectsAppend(c.CWP, u.cfg.NWin, c.Outcome.EA,
+		u.scratchReads[:0], u.scratchWrites[:0])
+	u.scratchReads, u.scratchWrites = reads, writes
+	if u.renAny() && !u.cfg.NoForwarding {
+		srcRen := u.scratchPairsA[:0]
+		for i, r := range reads {
 			if r.Kind == isa.LocMem {
 				continue
 			}
-			if reg, ok := u.renameMap[r]; ok {
-				s.reads[i] = RenLoc(reg)
-				s.SrcRenames = append(s.SrcRenames, RenamePair{Loc: r, Reg: reg})
+			if reg, ok := u.renLookup(r); ok {
+				reads[i] = RenLoc(reg)
+				srcRen = append(srcRen, RenamePair{Loc: r, Reg: reg})
 			}
 		}
-		for _, w := range s.writes {
-			delete(u.renameMap, w)
+		u.scratchPairsA = srcRen
+		s.SrcRenames = u.grabPairs(srcRen)
+		for _, w := range writes {
+			if w.Kind != isa.LocMem {
+				u.renDelete(w)
+			}
 		}
 	}
+	s.reads = u.grabLocs(reads)
+	s.writes = u.grabLocs(writes)
+	u.candR.Reset()
+	u.candR.AddSet(s.reads)
+	u.candW.Reset()
+	u.candW.AddSet(s.writes)
 	if c.Inst.IsMem() {
 		s.IsMem = true
 		s.IsStore = c.Inst.IsStore()
@@ -349,15 +714,17 @@ func (u *Scheduler) buildSlot(c Completed) *Slot {
 
 // cohabitCross updates the candidate's sticky cross bit on entering
 // element e (paper §3.10; see DESIGN.md §5 for the store/load extension).
+// The element aggregates include the candidate itself, matching the
+// original slot scan which ran after placement.
 func cohabitCross(cand *Slot, e *element) {
 	if !cand.IsMem || cand.Cross {
 		return
 	}
-	if e.hasStoreOrMemCopy() {
+	if e.stores > 0 {
 		cand.Cross = true
 		return
 	}
-	if cand.IsStore && e.hasLoad() {
+	if cand.IsStore && e.loads > 0 {
 		cand.Cross = true
 	}
 }
@@ -366,6 +733,9 @@ func cohabitCross(cand *Slot, e *element) {
 func (u *Scheduler) place(cand *Slot, e *element) int {
 	idx := u.freeSlot(e, cand.Inst.Class())
 	e.slots[idx] = cand
+	e.sigR[idx] = u.candR
+	e.sigW[idx] = u.candW
+	e.add(cand, idx)
 	cand.Tag = e.branches
 	if cand.IsCondOrIndirectBranch() {
 		e.branches++
@@ -389,17 +759,20 @@ func (u *Scheduler) allocRename(l isa.Loc) RenameReg {
 // split renames the given outputs of cand and installs a copy instruction
 // in cand's current slot of element e (paper §3.2). The copy keeps the
 // element's current tag position and, for memory, the candidate's order
-// and address for aliasing checks.
+// and address for aliasing checks. The caller must recalc e afterwards.
 func (u *Scheduler) split(cand *Slot, e *element, slotIdx int, conflicted []isa.Loc) {
-	copySlot := &Slot{
-		Inst:   cand.Inst,
-		Addr:   cand.Addr,
-		CWP:    cand.CWP,
-		Seq:    cand.Seq,
-		Tag:    cand.Tag,
-		IsCopy: true,
-	}
-	var remaining []isa.Loc
+	copySlot := u.newSlot()
+	copySlot.Inst = cand.Inst
+	copySlot.Addr = cand.Addr
+	copySlot.CWP = cand.CWP
+	copySlot.Seq = cand.Seq
+	copySlot.Tag = cand.Tag
+	copySlot.IsCopy = true
+	remaining := u.scratchRem[:0]
+	cpReads := u.scratchCpR[:0]
+	cpWrites := u.scratchCpW[:0]
+	renames := append(u.scratchPairsA[:0], cand.Renames...)
+	copies := u.scratchPairsB[:0]
 	for _, w := range cand.writes {
 		conflict := w.Kind != isa.LocRen
 		if conflict {
@@ -416,11 +789,11 @@ func (u *Scheduler) split(cand *Slot, e *element, slotIdx int, conflicted []isa.
 			continue
 		}
 		reg := u.allocRename(w)
-		cand.Renames = append(cand.Renames, RenamePair{Loc: w, Reg: reg})
-		copySlot.Copies = append(copySlot.Copies, RenamePair{Loc: w, Reg: reg})
-		copySlot.reads = append(copySlot.reads, RenLoc(reg))
+		renames = append(renames, RenamePair{Loc: w, Reg: reg})
+		copies = append(copies, RenamePair{Loc: w, Reg: reg})
+		cpReads = append(cpReads, RenLoc(reg))
 		if w.Kind != isa.LocMem && !u.cfg.NoForwarding {
-			u.renameMap[w] = reg
+			u.renSet(w, reg)
 			remaining = append(remaining, RenLoc(reg))
 		}
 		if w.Kind == isa.LocMem {
@@ -432,15 +805,28 @@ func (u *Scheduler) split(cand *Slot, e *element, slotIdx int, conflicted []isa.
 			copySlot.Order = cand.Order
 			copySlot.Cross = cand.Cross
 		}
-		copySlot.writes = append(copySlot.writes, w)
+		cpWrites = append(cpWrites, w)
 	}
-	cand.writes = remaining
+	u.scratchRem, u.scratchCpR, u.scratchCpW = remaining, cpReads, cpWrites
+	u.scratchPairsA, u.scratchPairsB = renames, copies
+	cand.Renames = u.grabPairs(renames)
+	copySlot.Copies = u.grabPairs(copies)
+	cand.writes = u.grabLocs(remaining)
+	u.candW.Reset()
+	u.candW.AddSet(cand.writes)
+	copySlot.reads = u.grabLocs(cpReads)
+	copySlot.writes = u.grabLocs(cpWrites)
 	if u.cfg.FaultDropCopy {
 		// Fault injection (oracle meta-test): lose the copy instruction,
 		// leaving the renamed values stranded in the renaming registers.
 		e.slots[slotIdx] = nil
+		u.releaseSlot(copySlot)
 	} else {
 		e.slots[slotIdx] = copySlot
+		e.sigR[slotIdx].Reset()
+		e.sigR[slotIdx].AddSet(copySlot.reads)
+		e.sigW[slotIdx].Reset()
+		e.sigW[slotIdx].AddSet(copySlot.writes)
 	}
 	u.splits++
 	u.Stats.Splits++
@@ -463,19 +849,21 @@ func (u *Scheduler) Insert(c Completed) (*Block, error) {
 	}
 
 	var flushed *Block
-	cand := u.buildSlot(c)
+	var cand *Slot
 
 	if len(u.elems) == 0 {
+		// Rename bindings never cross blocks: start the block first so the
+		// slot is built against the fresh (empty) rename table.
 		u.startBlock(c)
-		// Rename bindings never cross blocks: rebuild the slot against
-		// the fresh (empty) rename map.
 		cand = u.buildSlot(c)
 	} else {
+		cand = u.buildSlot(c)
 		tail := u.elems[len(u.elems)-1]
 		if u.needsNewElement(cand, tail) {
 			if len(u.elems) >= u.cfg.Height {
 				flushed = u.flush(c.Addr, c.Seq)
 				u.startBlock(c)
+				u.releaseSlot(cand)
 				cand = u.buildSlot(c)
 			} else {
 				u.newElement()
@@ -487,6 +875,7 @@ func (u *Scheduler) Insert(c Completed) (*Block, error) {
 					if len(u.elems) >= u.cfg.Height {
 						flushed = u.flush(c.Addr, c.Seq)
 						u.startBlock(c)
+						u.releaseSlot(cand)
 						cand = u.buildSlot(c)
 						break
 					}
@@ -527,7 +916,7 @@ func (u *Scheduler) needsNewElement(cand *Slot, tail *element) bool {
 	if u.wawBlocked(cand, t) {
 		return true
 	}
-	return u.memSerialized(cand, tail, -1)
+	return u.memSerialized(cand, tail)
 }
 
 // moveUp walks the candidate up the scheduling list until installed,
@@ -547,7 +936,7 @@ func (u *Scheduler) moveUp(cand *Slot, elemIdx, slotIdx int) {
 		// dependency horizon covers multicycle producers.
 		if u.trueDepBlocked(cand, elemIdx-1) ||
 			u.freeSlot(prev, cand.Inst.Class()) < 0 ||
-			u.memSerialized(cand, prev, -1) ||
+			u.memSerialized(cand, prev) ||
 			u.wawCopyUnsafe(cand, elemIdx) {
 			break
 		}
@@ -556,10 +945,10 @@ func (u *Scheduler) moveUp(cand *Slot, elemIdx, slotIdx int) {
 		// completing at/after the candidate), anti dependency with i, or
 		// control dependency with i (paper §3.2).
 		outConf := u.horizonOutputConflicts(cand, elemIdx-1)
-		antiConf := conflictingWrites(cand, elemReads(cur, slotIdx))
-		needAll := cur.hasCondOrIndirectBranch()
+		antiConf := u.antiConflicts(cand, cur, slotIdx)
+		needAll := cur.ctis > 0
 		if len(outConf) > 0 || len(antiConf) > 0 || needAll {
-			var conflicted []isa.Loc
+			conflicted := u.scratchConf[:0]
 			if needAll {
 				for _, w := range cand.writes {
 					if w.Kind != isa.LocRen {
@@ -567,34 +956,60 @@ func (u *Scheduler) moveUp(cand *Slot, elemIdx, slotIdx int) {
 					}
 				}
 			} else {
-				seen := map[isa.Loc]bool{}
-				for _, l := range append(outConf, antiConf...) {
-					if !seen[l] {
-						seen[l] = true
+				for _, l := range outConf {
+					if !locIn(conflicted, l) {
+						conflicted = append(conflicted, l)
+					}
+				}
+				for _, l := range antiConf {
+					if !locIn(conflicted, l) {
 						conflicted = append(conflicted, l)
 					}
 				}
 			}
+			u.scratchConf = conflicted
+			// Remove the candidate from cur's aggregates before split can
+			// flip its flags (MemRenamed): remove must see the flags the
+			// candidate was added with.
+			cur.remove(cand, slotIdx)
 			if len(conflicted) > 0 {
 				u.split(cand, cur, slotIdx, conflicted)
+				if cs := cur.slots[slotIdx]; cs != nil {
+					cur.add(cs, slotIdx)
+				}
 			} else {
 				// Nothing left to protect (all outputs already renamed):
 				// the move is safe without a new copy.
 				cur.slots[slotIdx] = nil
 			}
 		} else {
+			cur.remove(cand, slotIdx)
 			cur.slots[slotIdx] = nil
 		}
 
 		// Move into the previous element.
 		slotIdx = u.freeSlot(prev, cand.Inst.Class())
 		prev.slots[slotIdx] = cand
+		prev.sigR[slotIdx] = u.candR
+		prev.sigW[slotIdx] = u.candW
+		prev.add(cand, slotIdx)
 		cand.Tag = prev.branches
 		cohabitCross(cand, prev)
 		elemIdx--
 		u.Stats.MoveUps++
 	}
 	u.Stats.Installs++
+}
+
+// locIn reports whether l is already present in locs (small-set dedup
+// replacing the previous per-decision map allocation).
+func locIn(locs []isa.Loc, l isa.Loc) bool {
+	for _, x := range locs {
+		if x == l {
+			return true
+		}
+	}
+	return false
 }
 
 // startBlock begins a new block with c as its first instruction.
@@ -607,7 +1022,11 @@ func (u *Scheduler) startBlock(c Completed) {
 	u.order = 0
 	u.splits = 0
 	u.renUsed = [NumRenameClasses]uint16{}
-	u.renameMap = make(map[isa.Loc]RenameReg)
+	u.renEpoch++
+	u.renLive = 0
+	if len(u.renameMap) > 0 {
+		clear(u.renameMap)
+	}
 	u.currentCon = u.conservative[conKey(c.Addr, c.CWP)]
 	if u.currentCon {
 		u.Stats.ConservativeBl++
@@ -639,16 +1058,20 @@ func (u *Scheduler) flush(nbaAddr uint32, endSeq uint64) *Block {
 		EndSeq:       endSeq,
 		Conservative: u.currentCon,
 	}
+	// The block takes a compact copy of the slot grid (one backing array
+	// per block) so the element structs can be recycled for the next
+	// block instead of being reallocated per long instruction.
+	w := u.cfg.Width
+	backing := make([]*Slot, len(u.elems)*w)
 	b.LIs = make([][]*Slot, len(u.elems))
 	for i, e := range u.elems {
-		b.LIs[i] = e.slots
-		for _, s := range e.slots {
-			if s != nil {
-				b.ValidOps++
-			}
-		}
+		row := backing[i*w : (i+1)*w : (i+1)*w]
+		copy(row, e.slots)
+		b.LIs[i] = row
+		b.ValidOps += e.occ
+		u.releaseElement(e)
 	}
-	u.elems = nil
+	u.elems = u.elems[:0]
 	u.haveTag = false
 	u.Stats.BlocksFlushed++
 	u.Stats.FlushedLIs += uint64(b.NumLIs)

@@ -95,16 +95,12 @@ func RenLoc(r RenameReg) isa.Loc {
 // Slot is one operation within a long instruction: either a (possibly
 // output-renamed) scheduled instruction or a copy instruction created by a
 // split (paper §3.2).
+// Fields are ordered to minimise padding: slots are the machine's bulk
+// data structure (every block holds Width×NumLIs of them).
 type Slot struct {
 	Inst isa.Inst
 	Addr uint32 // SPARC address of the original instruction
-	CWP  uint8  // window pointer accompanying the instruction (paper §3.9)
 	Seq  uint64 // global program-order sequence number
-
-	// Tag is the branch tag (paper §3.8): the slot commits only if every
-	// conditional/indirect branch in the same long instruction with a
-	// smaller tag follows its recorded direction.
-	Tag uint8
 
 	// Renames lists outputs redirected to renaming registers by splits.
 	Renames []RenamePair
@@ -115,30 +111,40 @@ type Slot struct {
 	// the rescheduled subcc reads r32).
 	SrcRenames []RenamePair
 
-	// IsCopy marks a copy instruction; Copies lists the renaming
-	// registers it commits to architectural locations.
-	IsCopy bool
+	// Copies lists the renaming registers a copy instruction commits to
+	// architectural locations (IsCopy below).
 	Copies []RenamePair
 
-	// Recorded branch behaviour (conditional and indirect branches).
-	BrTaken  bool
+	reads  []isa.Loc // dependency footprint, renames applied
+	writes []isa.Loc
+
+	// BrTarget records the taken-branch target (conditional and indirect
+	// branches; BrTaken below).
 	BrTarget uint32
 
 	// Lat is the execution latency in cycles (long instructions); the
 	// result becomes readable Lat long instructions after issue.
-	Lat int
+	Lat int32
 
-	// Memory fields (paper §3.10).
+	// MemAddr/MemSize/Order describe the memory access observed during
+	// scheduling (paper §3.10).
+	MemAddr uint32
+	MemSize uint8
+	Order   uint16 // load/store insertion order within the block
+
+	CWP uint8 // window pointer accompanying the instruction (paper §3.9)
+
+	// Tag is the branch tag (paper §3.8): the slot commits only if every
+	// conditional/indirect branch in the same long instruction with a
+	// smaller tag follows its recorded direction.
+	Tag uint8
+
+	IsCopy     bool // copy instruction created by a split
+	BrTaken    bool // recorded branch direction
 	IsMem      bool
 	IsStore    bool
-	MemAddr    uint32 // effective address observed during scheduling
-	MemSize    uint8
-	Order      uint16 // load/store insertion order within the block
-	Cross      bool   // cross bit
-	MemRenamed bool   // store whose memory write moved to a memory copy
-
-	reads  []isa.Loc // dependency footprint, renames applied
-	writes []isa.Loc
+	Cross      bool // cross bit (paper §3.10)
+	MemRenamed bool // store whose memory write moved to a memory copy
 }
 
 // LatOr1 returns the slot's latency, defaulting to 1 (copies and
@@ -147,7 +153,7 @@ func (s *Slot) LatOr1() int {
 	if s.Lat < 1 {
 		return 1
 	}
-	return s.Lat
+	return int(s.Lat)
 }
 
 // Reads returns the slot's architectural read set (renaming registers are
@@ -306,6 +312,15 @@ func (c Config) MaxLatency() int {
 func (c Config) Validate() error {
 	if c.Width <= 0 || c.Height <= 0 {
 		return fmt.Errorf("sched: width %d / height %d invalid", c.Width, c.Height)
+	}
+	if c.Width > 64 {
+		// The occupancy and FU-acceptance masks pack slot indices into one
+		// 64-bit word; the paper's geometries stop at 16.
+		return fmt.Errorf("sched: width %d exceeds the 64-slot implementation bound", c.Width)
+	}
+	if c.MaxLatency() > 63 {
+		// Latency buckets are tracked in a 64-bit nonempty mask.
+		return fmt.Errorf("sched: max latency %d exceeds the 63-cycle implementation bound", c.MaxLatency())
 	}
 	if c.NWin <= 0 {
 		return fmt.Errorf("sched: nwin %d invalid", c.NWin)

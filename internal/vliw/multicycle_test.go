@@ -10,7 +10,7 @@ import (
 // latSlot builds a slot with an explicit latency.
 func latSlot(in isa.Inst, addr uint32, seq uint64, lat int) *sched.Slot {
 	s := slot(in, addr, seq)
-	s.Lat = lat
+	s.Lat = int32(lat)
 	return s
 }
 

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate BENCH_SCHED.json (the perf-trajectory baseline) and print the
+# Scheduler Unit microbenchmarks. Run from anywhere inside the repo; extra
+# arguments are passed to cmd/experiments (e.g. -v for progress).
+#
+# Measurements are wall-clock sensitive: run on an idle machine and compare
+# against the committed file's go_version/goos/goarch/num_cpu header before
+# reading deltas as regressions.
+set -e
+cd "$(dirname "$0")/.."
+
+go run ./cmd/experiments -bench-out BENCH_SCHED.json "$@"
+go test ./internal/sched -run '^$' -bench 'SchedulerFeed' -benchtime 300x
