@@ -10,6 +10,13 @@
 //	dtsvliw-oracle -n 10000 -seed 1
 //	dtsvliw-oracle -n 200 -shapes aliasing,multicycle -configs multicycle
 //	dtsvliw-oracle -replay 422 -shapes aliasing -configs multicycle
+//
+// With -engines the runner instead lock-steps the decode-once lowered
+// VLIW Engine against the interpreted engine on the same program
+// (DESIGN.md §11), checkpoint by checkpoint, including a cycle-count
+// comparison:
+//
+//	dtsvliw-oracle -n 2000 -engines
 package main
 
 import (
@@ -32,6 +39,7 @@ func main() {
 		maxFail = flag.Int("maxfail", 1, "stop after this many failures")
 		shrink  = flag.Int("shrink", 0, "differential runs each shrink may spend (0 = default)")
 		replay  = flag.Int64("replay", -1, "replay a single seed (use with -shapes/-configs to pin the case)")
+		engines = flag.Bool("engines", false, "lock-step the lowered VLIW Engine against the interpreted engine instead of the sequential reference")
 		verbose = flag.Bool("v", false, "print per-run progress")
 	)
 	flag.Usage = func() {
@@ -60,6 +68,7 @@ func main() {
 		Configs:     configList,
 		MaxFail:     *maxFail,
 		ShrinkEvals: *shrink,
+		EngineDiff:  *engines,
 	}
 	if *replay >= 0 {
 		// Replay mode: exactly one program, the given seed, first listed

@@ -28,6 +28,7 @@ func main() {
 	vcacheAssoc := flag.Int("vcache-assoc", 0, "VLIW Cache associativity (0 = default)")
 	max := flag.Uint64("max", 0, "stop after N sequential instructions (0 = run to halt)")
 	testMode := flag.Bool("testmode", false, "lockstep-validate against the sequential test machine")
+	interpreted := flag.Bool("interpreted", false, "disable lowered blocks: VLIW Engine re-interprets scheduler slots")
 	showOutput := flag.Bool("output", false, "print the program's trap output")
 	dumpBlocks := flag.Int("dumpblocks", 0, "print the first N scheduled blocks (Figure 2c style)")
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 	}
 	cfg.MaxInstrs = *max
 	cfg.TestMode = *testMode
+	cfg.InterpretedEngine = *interpreted
 
 	var sys *dtsvliw.System
 	var err error

@@ -7,8 +7,16 @@
 // Usage:
 //
 //	experiments [-run fig5,table3] [-max N] [-csv] [-v] [-par N]
-//	            [-bench-out BENCH_SCHED.json]
+//	            [-bench-out BENCH_SCHED.json] [-bench-interpreted]
+//	            [-bench-diff OLD.json,NEW.json] [-bench-gate PCT]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -bench-diff compares two benchmark reports entry by entry (ns/instr and
+// allocs/instr deltas); with -bench-gate it exits nonzero when any
+// machine entry's ns/instr regressed by more than PCT percent.
+// -bench-interpreted measures the machine rows with the interpreted VLIW
+// Engine, producing the on-runner baseline the CI perf gate compares the
+// lowered engine against.
 package main
 
 import (
@@ -32,6 +40,12 @@ func main() {
 	par := flag.Int("par", 0, "simulation workers (0 = one per CPU, 1 = serial)")
 	benchOut := flag.String("bench-out", "",
 		"measure the benchmark matrix and write BENCH_SCHED.json to this path (skips -run)")
+	benchInterp := flag.Bool("bench-interpreted", false,
+		"with -bench-out: measure machine rows with the interpreted VLIW Engine (perf-gate baseline)")
+	benchDiff := flag.String("bench-diff", "",
+		"compare two benchmark reports: OLD.json,NEW.json (skips -run)")
+	benchGate := flag.Float64("bench-gate", 0,
+		"with -bench-diff: fail if any machine entry's ns/instr regressed by more than this percent")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
@@ -50,7 +64,8 @@ func main() {
 		cpuFile = f
 	}
 
-	o := experiments.Options{MaxInstrs: *max, TestMode: *test, Workers: *par}
+	o := experiments.Options{MaxInstrs: *max, TestMode: *test, Workers: *par,
+		InterpretedEngine: *benchInterp}
 	if *verbose {
 		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -79,6 +94,41 @@ func main() {
 		}
 		os.Exit(code)
 	}()
+
+	if *benchDiff != "" {
+		parts := strings.Split(*benchDiff, ",")
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "bench-diff: want OLD.json,NEW.json")
+			exit(2)
+			return
+		}
+		oldRep, err := experiments.LoadBenchReport(strings.TrimSpace(parts[0]))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+			exit(1)
+			return
+		}
+		newRep, err := experiments.LoadBenchReport(strings.TrimSpace(parts[1]))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+			exit(1)
+			return
+		}
+		if note := experiments.BenchEnvNote(oldRep, newRep); note != "" {
+			fmt.Fprintln(os.Stderr, "bench-diff:", note)
+		}
+		deltas := experiments.DiffBenchReports(oldRep, newRep)
+		fmt.Print(experiments.FormatBenchDiff(deltas))
+		if *benchGate > 0 {
+			if err := experiments.GateBenchDiff(deltas, *benchGate); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				exit(1)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "bench gate passed (threshold %+.1f%% ns/instr on machine entries)\n", *benchGate)
+		}
+		return
+	}
 
 	if *benchOut != "" {
 		rep, err := experiments.BenchSched(o)

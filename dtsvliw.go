@@ -109,6 +109,12 @@ type Config struct {
 	// exits (paper §5 future work).
 	ExitPrediction bool
 
+	// InterpretedEngine disables the decode-once lowered block form and
+	// makes the VLIW Engine re-interpret scheduler slots each execution
+	// (DESIGN.md §11). Behaviourally identical; for conformance sweeps
+	// and debugging.
+	InterpretedEngine bool
+
 	// LoadLatency/FPLatency/FPDivLatency enable the multicycle-
 	// instruction extension (the paper's companion study); zero or one is
 	// the Table 1 single-cycle baseline.
@@ -142,6 +148,7 @@ func (c Config) toInternal() (core.Config, error) {
 		base.StoreScheme = vliw.SchemeStoreList
 	}
 	base.ExitPrediction = c.ExitPrediction
+	base.InterpretedEngine = c.InterpretedEngine
 	base.LoadLatency = c.LoadLatency
 	base.FPLatency = c.FPLatency
 	base.FPDivLatency = c.FPDivLatency

@@ -76,11 +76,17 @@ type decodeCache struct {
 	base  uint32
 	insts []isa.Inst
 	ok    []bool
+	// extra memoizes decodes outside [base, base+len*4): handwritten tests
+	// and trampolines place code outside the declared text range, and the
+	// Primary Processor's first-execution path would otherwise re-decode
+	// those words on every visit.
+	extra map[uint32]isa.Inst
 }
 
 // FetchDecode fetches and decodes the instruction at addr.
 func (s *State) FetchDecode(addr uint32) (isa.Inst, error) {
-	if d := s.dec; d != nil && addr >= d.base && addr < d.base+uint32(len(d.insts))*4 {
+	d := s.dec
+	if d != nil && addr >= d.base && addr < d.base+uint32(len(d.insts))*4 {
 		i := (addr - d.base) / 4
 		if d.ok[i] {
 			return d.insts[i], nil
@@ -97,6 +103,11 @@ func (s *State) FetchDecode(addr uint32) (isa.Inst, error) {
 		d.ok[i] = true
 		return in, nil
 	}
+	if d != nil {
+		if in, hit := d.extra[addr]; hit {
+			return in, nil
+		}
+	}
 	raw, err := s.Mem.ReadWord(addr)
 	if err != nil {
 		return isa.Inst{}, err
@@ -104,6 +115,12 @@ func (s *State) FetchDecode(addr uint32) (isa.Inst, error) {
 	in, err := isa.Decode(raw)
 	if err != nil {
 		return isa.Inst{}, fmt.Errorf("at %#08x: %w", addr, err)
+	}
+	if d != nil {
+		if d.extra == nil {
+			d.extra = make(map[uint32]isa.Inst)
+		}
+		d.extra[addr] = in
 	}
 	return in, nil
 }

@@ -53,6 +53,13 @@ type Config struct {
 	// data-store-list alternative.
 	StoreScheme vliw.StoreScheme
 
+	// InterpretedEngine disables block lowering: the VLIW Engine
+	// re-interprets sched.Slot structures instead of executing the
+	// decode-once micro-op form saved with each VLIW Cache line
+	// (DESIGN.md §11). Behaviourally identical; kept for conformance
+	// sweeps (lowered-vs-interpreted lock-step) and debugging.
+	InterpretedEngine bool
+
 	// ExitPrediction enables next-long-instruction prediction (paper §5
 	// future work): a last-target predictor keyed by the deviating
 	// branch hides the one-cycle trace-exit bubble on a correct

@@ -161,7 +161,9 @@ func (m *Machine) addCycles(n int, vliwMode bool) {
 // saveBlock sends a finished block to the VLIW Cache, modelling the
 // one-long-instruction-per-cycle drain (paper §3.2): a new flush issued
 // while the previous block is still draining stalls the Primary
-// Processor.
+// Processor. Unless the interpreted engine is forced, the block is
+// lowered once here — the software analogue of storing decoded
+// instructions in the cache line (paper §3.4).
 func (m *Machine) saveBlock(b *sched.Block) {
 	if b == nil {
 		return
@@ -171,10 +173,24 @@ func (m *Machine) saveBlock(b *sched.Block) {
 		m.addCycles(m.drain, false)
 	}
 	m.drain = b.NumLIs
-	m.vc.Save(b)
+	var low *vliw.LoweredBlock
+	if !m.cfg.InterpretedEngine {
+		low = vliw.Lower(b, m.cfg.NWin)
+	}
+	m.vc.Save(b, low)
 	m.Stats.BlocksSaved++
 	if m.BlockHook != nil {
 		m.BlockHook(b)
+	}
+}
+
+// beginBlock enters a VLIW Cache entry on the engine, preferring the
+// lowered form when the line carries one.
+func (m *Machine) beginBlock(ent vcache.Entry) {
+	if ent.Low != nil {
+		m.eng.BeginLowered(ent.Low)
+	} else {
+		m.eng.BeginBlock(ent.Blk)
 	}
 }
 
@@ -226,7 +242,7 @@ func (m *Machine) stepPrimary() error {
 	// execute stage. On a hit the VLIW Engine takes over; the instruction
 	// is annulled before write-back and re-executed in VLIW mode.
 	if !m.skipProbe && m.excBudget == 0 {
-		if blk, ok := m.vc.Lookup(pc, m.St.CWP()); ok {
+		if ent, ok := m.vc.Lookup(pc, m.St.CWP()); ok {
 			m.saveBlock(m.sch.Flush(pc, m.seq))
 			m.pipe.FlushState()
 			m.Stats.Switches++
@@ -234,7 +250,7 @@ func (m *Machine) stepPrimary() error {
 			m.addCycles(m.cfg.SwitchToVLIW, true)
 			m.mode = ModeVLIW
 			m.vpc = sched.LongAddr{Addr: pc, Line: 0}
-			m.eng.BeginBlock(blk)
+			m.beginBlock(ent)
 			return nil
 		}
 	}
@@ -292,6 +308,11 @@ func (m *Machine) stepPrimary() error {
 			return err
 		}
 	}
+	if m.CheckpointHook == nil {
+		// Skip the checkpoint description formatting on the per-instruction
+		// fast path when nobody observes it.
+		return nil
+	}
 	return m.notifyCheckpoint(1, m.St.PC, fmt.Sprintf("primary pc=%#08x", pc))
 }
 
@@ -329,7 +350,12 @@ func (m *Machine) stepVLIW() error {
 		return m.notifyCheckpoint(0, blk.Tag, where)
 	}
 
-	m.journal = append(m.journal, res.Stores...)
+	if m.St.LogStores {
+		// The journal only feeds incremental memory comparison (TestMode
+		// and the differential oracle); without a consumer it would grow
+		// for the whole run.
+		m.journal = append(m.journal, res.Stores...)
+	}
 
 	switch {
 	case res.TraceExit:
@@ -356,8 +382,8 @@ func (m *Machine) stepVLIW() error {
 		if err := m.syncRef(res.ExitAdvance, res.NextPC, "trace exit"); err != nil {
 			return err
 		}
-		if nb, ok := m.vc.Lookup(res.NextPC, m.St.CWP()); ok {
-			m.eng.BeginBlock(nb)
+		if ent, ok := m.vc.Lookup(res.NextPC, m.St.CWP()); ok {
+			m.beginBlock(ent)
 			m.vpc = sched.LongAddr{Addr: res.NextPC, Line: 0}
 		} else {
 			m.switchToPrimary(res.NextPC, &cycles)
@@ -375,9 +401,9 @@ func (m *Machine) stepVLIW() error {
 		if err := m.syncRef(advance, next, "block end"); err != nil {
 			return err
 		}
-		if nb, ok := m.vc.Lookup(next, m.St.CWP()); ok {
+		if ent, ok := m.vc.Lookup(next, m.St.CWP()); ok {
 			cycles += m.cfg.NextLIMissPenalty
-			m.eng.BeginBlock(nb)
+			m.beginBlock(ent)
 			m.vpc = sched.LongAddr{Addr: next, Line: 0}
 		} else {
 			m.switchToPrimary(next, &cycles)
@@ -398,7 +424,9 @@ func (m *Machine) endBlockDrain() error {
 	if err != nil {
 		return err
 	}
-	m.journal = append(m.journal, recs...)
+	if m.St.LogStores {
+		m.journal = append(m.journal, recs...)
+	}
 	return nil
 }
 

@@ -97,6 +97,7 @@ func BenchSched(o Options) (*BenchReport, error) {
 	}
 	for _, w := range workloads.All() {
 		for _, mc := range benchMachineConfigs() {
+			mc.cfg.InterpretedEngine = o.InterpretedEngine
 			var m *core.Machine
 			elapsed, allocs, bytes, err := measure(func() error {
 				var err error

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// This file compares two BENCH_SCHED.json reports (scripts/bench.sh
+// compare mode) and gates CI on ns/instr regressions of the machine
+// entries: lowering blocks once at save time (DESIGN.md §11) is a pure
+// perf mechanism, so the full-machine simulation rate must never regress
+// past the gate threshold relative to its baseline.
+
+// LoadBenchReport reads a BENCH_SCHED.json document from disk.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// BenchDelta is one matched benchmark row of a report comparison.
+type BenchDelta struct {
+	Kind, Name, Config   string
+	Seed                 int64
+	OldNs, NewNs         float64
+	OldAllocs, NewAllocs float64
+	// NsPct/AllocsPct are the relative changes in percent; positive means
+	// the new report is slower / allocates more.
+	NsPct, AllocsPct float64
+}
+
+func (d BenchDelta) label() string {
+	l := fmt.Sprintf("%s %s/%s", d.Kind, d.Name, d.Config)
+	if d.Seed != 0 {
+		l += fmt.Sprintf("#%d", d.Seed)
+	}
+	return l
+}
+
+func benchKey(e BenchEntry) string {
+	return fmt.Sprintf("%s|%s|%s|%d", e.Kind, e.Name, e.Config, e.Seed)
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+// DiffBenchReports matches the entries of two reports by
+// (kind, name, config, seed) and returns one delta per matched pair, in
+// the new report's order. Entries present on only one side are skipped —
+// a matrix change makes their comparison meaningless.
+func DiffBenchReports(old, new *BenchReport) []BenchDelta {
+	byKey := make(map[string]BenchEntry, len(old.Entries))
+	for _, e := range old.Entries {
+		byKey[benchKey(e)] = e
+	}
+	var out []BenchDelta
+	for _, e := range new.Entries {
+		o, ok := byKey[benchKey(e)]
+		if !ok {
+			continue
+		}
+		out = append(out, BenchDelta{
+			Kind: e.Kind, Name: e.Name, Config: e.Config, Seed: e.Seed,
+			OldNs: o.NsPerInstr, NewNs: e.NsPerInstr,
+			OldAllocs: o.AllocsPerInstr, NewAllocs: e.AllocsPerInstr,
+			NsPct:     pct(o.NsPerInstr, e.NsPerInstr),
+			AllocsPct: pct(o.AllocsPerInstr, e.AllocsPerInstr),
+		})
+	}
+	return out
+}
+
+// BenchEnvNote reports how the two reports' measurement environments
+// differ ("" when identical). Cross-environment deltas are trajectories,
+// not regressions.
+func BenchEnvNote(old, new *BenchReport) string {
+	var diffs []string
+	if old.GoVersion != new.GoVersion {
+		diffs = append(diffs, fmt.Sprintf("go %s -> %s", old.GoVersion, new.GoVersion))
+	}
+	if old.GOOS != new.GOOS || old.GOARCH != new.GOARCH {
+		diffs = append(diffs, fmt.Sprintf("platform %s/%s -> %s/%s", old.GOOS, old.GOARCH, new.GOOS, new.GOARCH))
+	}
+	if old.NumCPU != new.NumCPU {
+		diffs = append(diffs, fmt.Sprintf("cpus %d -> %d", old.NumCPU, new.NumCPU))
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	return "environments differ (" + strings.Join(diffs, ", ") + "); treat ns deltas as indicative only"
+}
+
+// FormatBenchDiff renders the deltas as an aligned per-entry table of
+// ns/instr and allocs/instr changes.
+func FormatBenchDiff(deltas []BenchDelta) string {
+	var b strings.Builder
+	wide := 0
+	for _, d := range deltas {
+		if n := len(d.label()); n > wide {
+			wide = n
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %21s  %24s\n", wide, "entry", "ns/instr old->new", "allocs/instr old->new")
+	for _, d := range deltas {
+		fmt.Fprintf(&b, "%-*s  %8.1f -> %8.1f %+6.1f%%  %7.3f -> %7.3f %+6.1f%%\n",
+			wide, d.label(), d.OldNs, d.NewNs, d.NsPct, d.OldAllocs, d.NewAllocs, d.AllocsPct)
+	}
+	return b.String()
+}
+
+// GateBenchDiff fails if any machine entry's ns/instr regressed by more
+// than maxPct percent. Only the "machine" kind is gated: the full-machine
+// rate is the user-visible number; the sched-feed microbenchmark rows are
+// reported but too noisy at CI benchtime to hard-fail on.
+func GateBenchDiff(deltas []BenchDelta, maxPct float64) error {
+	var bad []string
+	for _, d := range deltas {
+		if d.Kind == "machine" && d.NsPct > maxPct {
+			bad = append(bad, fmt.Sprintf("%s: %.1f -> %.1f ns/instr (%+.1f%% > %+.1f%%)",
+				d.label(), d.OldNs, d.NewNs, d.NsPct, maxPct))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench gate: %d machine entr%s regressed:\n  %s",
+			len(bad), map[bool]string{true: "y", false: "ies"}[len(bad) == 1],
+			strings.Join(bad, "\n  "))
+	}
+	return nil
+}

@@ -31,6 +31,10 @@ type Options struct {
 	// CPU, 1 runs serially. Output is identical either way (see
 	// parallel.go).
 	Workers int
+	// InterpretedEngine disables lowered blocks in the benchmark matrix's
+	// machine rows, giving the on-runner baseline the perf gate compares
+	// the lowered engine against (scripts/bench.sh, CI bench-smoke).
+	InterpretedEngine bool
 	// Progress, if non-nil, receives one line per completed run, in
 	// deterministic job order.
 	Progress func(string)

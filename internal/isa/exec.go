@@ -53,7 +53,10 @@ func (e *AlignmentError) Error() string {
 	return fmt.Sprintf("isa: misaligned %d-byte access at %#08x", e.Size, e.Addr)
 }
 
-func addICC(a, b, r uint32, carry bool) uint8 {
+// AddICC computes the integer condition codes produced by an addition of
+// a and b with result r. Exported so the VLIW Engine's lowered executor
+// shares one definition of the flag semantics with Exec.
+func AddICC(a, b, r uint32, carry bool) uint8 {
 	var icc uint8
 	if r&0x80000000 != 0 {
 		icc |= ICCN
@@ -70,7 +73,9 @@ func addICC(a, b, r uint32, carry bool) uint8 {
 	return icc
 }
 
-func subICC(a, b, r uint32, borrow bool) uint8 {
+// SubICC computes the integer condition codes produced by a subtraction
+// a-b with result r.
+func SubICC(a, b, r uint32, borrow bool) uint8 {
 	var icc uint8
 	if r&0x80000000 != 0 {
 		icc |= ICCN
@@ -87,7 +92,9 @@ func subICC(a, b, r uint32, borrow bool) uint8 {
 	return icc
 }
 
-func logicICC(r uint32) uint8 {
+// LogicICC computes the integer condition codes produced by a logical
+// operation with result r.
+func LogicICC(r uint32) uint8 {
 	var icc uint8
 	if r&0x80000000 != 0 {
 		icc |= ICCN
@@ -123,7 +130,7 @@ func Exec(in *Inst, addr uint32, env Env, nwin int) (Outcome, error) {
 		r := a + b
 		wr(in.Rd, r)
 		if in.Op == OpADDCC {
-			env.SetICC(addICC(a, b, r, r < a))
+			env.SetICC(AddICC(a, b, r, r < a))
 		}
 
 	case OpADDX, OpADDXCC:
@@ -136,7 +143,7 @@ func Exec(in *Inst, addr uint32, env Env, nwin int) (Outcome, error) {
 		wr(in.Rd, r)
 		if in.Op == OpADDXCC {
 			carry := uint64(a)+uint64(b)+uint64(c) > 0xFFFFFFFF
-			env.SetICC(addICC(a, b, r, carry))
+			env.SetICC(AddICC(a, b, r, carry))
 		}
 
 	case OpSUB, OpSUBCC:
@@ -144,7 +151,7 @@ func Exec(in *Inst, addr uint32, env Env, nwin int) (Outcome, error) {
 		r := a - b
 		wr(in.Rd, r)
 		if in.Op == OpSUBCC {
-			env.SetICC(subICC(a, b, r, a < b))
+			env.SetICC(SubICC(a, b, r, a < b))
 		}
 
 	case OpSUBX, OpSUBXCC:
@@ -157,44 +164,44 @@ func Exec(in *Inst, addr uint32, env Env, nwin int) (Outcome, error) {
 		wr(in.Rd, r)
 		if in.Op == OpSUBXCC {
 			borrow := uint64(a) < uint64(b)+uint64(c)
-			env.SetICC(subICC(a, b, r, borrow))
+			env.SetICC(SubICC(a, b, r, borrow))
 		}
 
 	case OpAND, OpANDCC:
 		r := rr(in.Rs1) & op2()
 		wr(in.Rd, r)
 		if in.Op == OpANDCC {
-			env.SetICC(logicICC(r))
+			env.SetICC(LogicICC(r))
 		}
 	case OpANDN, OpANDNCC:
 		r := rr(in.Rs1) &^ op2()
 		wr(in.Rd, r)
 		if in.Op == OpANDNCC {
-			env.SetICC(logicICC(r))
+			env.SetICC(LogicICC(r))
 		}
 	case OpOR, OpORCC:
 		r := rr(in.Rs1) | op2()
 		wr(in.Rd, r)
 		if in.Op == OpORCC {
-			env.SetICC(logicICC(r))
+			env.SetICC(LogicICC(r))
 		}
 	case OpORN, OpORNCC:
 		r := rr(in.Rs1) | ^op2()
 		wr(in.Rd, r)
 		if in.Op == OpORNCC {
-			env.SetICC(logicICC(r))
+			env.SetICC(LogicICC(r))
 		}
 	case OpXOR, OpXORCC:
 		r := rr(in.Rs1) ^ op2()
 		wr(in.Rd, r)
 		if in.Op == OpXORCC {
-			env.SetICC(logicICC(r))
+			env.SetICC(LogicICC(r))
 		}
 	case OpXNOR, OpXNORCC:
 		r := rr(in.Rs1) ^ ^op2()
 		wr(in.Rd, r)
 		if in.Op == OpXNORCC {
-			env.SetICC(logicICC(r))
+			env.SetICC(LogicICC(r))
 		}
 
 	case OpSLL:
@@ -220,7 +227,7 @@ func Exec(in *Inst, addr uint32, env Env, nwin int) (Outcome, error) {
 		r := o1 + o2
 		env.SetY(env.Y()>>1 | a<<31)
 		wr(in.Rd, r)
-		env.SetICC(addICC(o1, o2, r, r < o1))
+		env.SetICC(AddICC(o1, o2, r, r < o1))
 
 	case OpRDY:
 		wr(in.Rd, env.Y())
@@ -343,9 +350,9 @@ func Exec(in *Inst, addr uint32, env Env, nwin int) (Outcome, error) {
 	case OpFCMPS:
 		a := math.Float32frombits(env.ReadF(in.Rs1))
 		b := math.Float32frombits(env.ReadF(in.Rs2))
-		env.SetFCC(cmpFCC(float64(a), float64(b)))
+		env.SetFCC(CmpFCC(float64(a), float64(b)))
 	case OpFCMPD:
-		env.SetFCC(cmpFCC(readD(env, in.Rs1), readD(env, in.Rs2)))
+		env.SetFCC(CmpFCC(readD(env, in.Rs1), readD(env, in.Rs2)))
 
 	case OpUNIMP:
 		return out, fmt.Errorf("isa: unimplemented instruction at %#08x", addr)
@@ -356,7 +363,8 @@ func Exec(in *Inst, addr uint32, env Env, nwin int) (Outcome, error) {
 	return out, nil
 }
 
-func cmpFCC(a, b float64) uint8 {
+// CmpFCC computes the floating-point condition code of comparing a to b.
+func CmpFCC(a, b float64) uint8 {
 	switch {
 	case math.IsNaN(a) || math.IsNaN(b):
 		return FCCU

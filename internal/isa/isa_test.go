@@ -104,7 +104,7 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 func TestEvalICCMatchesArithmetic(t *testing.T) {
 	f := func(a, b int32) bool {
 		r := uint32(a) - uint32(b)
-		icc := subICC(uint32(a), uint32(b), r, uint32(a) < uint32(b))
+		icc := SubICC(uint32(a), uint32(b), r, uint32(a) < uint32(b))
 		checks := []struct {
 			cond uint8
 			want bool

@@ -45,6 +45,9 @@ func DefaultConfigs() []NamedConfig {
 	nofwd := core.IdealConfig(8, 8)
 	nofwd.NoSourceForwarding = true
 
+	interp := core.IdealConfig(8, 8)
+	interp.InterpretedEngine = true
+
 	return []NamedConfig{
 		{"ideal-4x4", core.IdealConfig(4, 4)},
 		{"ideal-8x8", core.IdealConfig(8, 8)},
@@ -55,6 +58,7 @@ func DefaultConfigs() []NamedConfig {
 		{"storelist", storelist},
 		{"exitpred", exitpred},
 		{"nofwd", nofwd},
+		{"interpreted", interp},
 	}
 }
 
@@ -85,6 +89,7 @@ type Failure struct {
 	Seed       int64
 	Shape      progen.Shape
 	ConfigName string
+	Engines    bool   // found by the lowered-vs-interpreted engines mode
 	Source     string // shrunk program (re-runnable assembly)
 	OrigLines  int    // lines before shrinking
 	Lines      int    // lines after shrinking
@@ -104,8 +109,12 @@ func (f *Failure) Render() string {
 	if f.Err != nil {
 		fmt.Fprintf(&b, "error: %v\n", f.Err)
 	}
-	fmt.Fprintf(&b, "replay: dtsvliw-oracle -replay %d -shapes %s -configs %s\n",
-		f.Seed, f.Shape, f.ConfigName)
+	mode := ""
+	if f.Engines {
+		mode = " -engines"
+	}
+	fmt.Fprintf(&b, "replay: dtsvliw-oracle%s -replay %d -shapes %s -configs %s\n",
+		mode, f.Seed, f.Shape, f.ConfigName)
 	b.WriteString("---- reproducer ----\n")
 	b.WriteString(strings.TrimRight(f.Source, "\n"))
 	b.WriteString("\n---- end reproducer ----")
@@ -129,6 +138,10 @@ type SweepOptions struct {
 	Configs     []NamedConfig
 	MaxFail     int // stop after this many failures
 	ShrinkEvals int // differential runs each shrink may spend
+	// EngineDiff switches the runner from machine-vs-sequential-reference
+	// (RunDiff) to lowered-vs-interpreted engine lock-step
+	// (RunDiffEngines).
+	EngineDiff bool
 	// Progress, when set, is called after every run (f is nil unless the
 	// run failed).
 	Progress func(done, total int, f *Failure)
@@ -153,6 +166,11 @@ func Sweep(o SweepOptions) *Report {
 		maxFail = 1
 	}
 
+	diffRun := RunDiff
+	if o.EngineDiff {
+		diffRun = RunDiffEngines
+	}
+
 	rep := &Report{}
 	for i := 0; i < o.N; i++ {
 		seed := o.Seed + int64(i)
@@ -160,7 +178,7 @@ func Sweep(o SweepOptions) *Report {
 		nc := configs[(i/len(shapes))%len(configs)]
 		src := progen.Generate(progen.ShapeParams(shape, seed))
 
-		res, err := RunDiff(src, nc.Cfg)
+		res, err := diffRun(src, nc.Cfg)
 		rep.Runs++
 		if err == nil {
 			rep.Instret += res.Instret
@@ -171,11 +189,11 @@ func Sweep(o SweepOptions) *Report {
 			continue
 		}
 
-		f := Failure{Seed: seed, Shape: shape, ConfigName: nc.Name,
+		f := Failure{Seed: seed, Shape: shape, ConfigName: nc.Name, Engines: o.EngineDiff,
 			Source: src, OrigLines: countLines(src), Lines: countLines(src)}
 		var d *Divergence
 		if errors.As(err, &d) {
-			small, smallDiv := ShrinkDivergence(src, nc.Cfg, o.ShrinkEvals)
+			small, smallDiv := shrinkWith(src, nc.Cfg, o.ShrinkEvals, diffRun)
 			f.Source, f.Lines = small, countLines(small)
 			f.Div = smallDiv
 			if f.Div == nil {
@@ -204,6 +222,13 @@ func Sweep(o SweepOptions) *Report {
 // that loop forever die fast, falling back to the full budget when the
 // original failure needs longer to surface.
 func ShrinkDivergence(src string, cfg core.Config, evals int) (string, *Divergence) {
+	return shrinkWith(src, cfg, evals, RunDiff)
+}
+
+// shrinkWith is ShrinkDivergence parameterised over the differential
+// runner, so the lowered-vs-interpreted engines mode shrinks with the
+// same runner that found the failure.
+func shrinkWith(src string, cfg core.Config, evals int, run func(string, core.Config) (*Result, error)) (string, *Divergence) {
 	diverges := func(budget uint64) func(string) bool {
 		c := cfg
 		c.MaxCycles = budget
@@ -211,7 +236,7 @@ func ShrinkDivergence(src string, cfg core.Config, evals int) (string, *Divergen
 			if !refHalts(cand, c.NWin) {
 				return false
 			}
-			_, err := RunDiff(cand, c)
+			_, err := run(cand, c)
 			var d *Divergence
 			return errors.As(err, &d)
 		}
@@ -226,8 +251,7 @@ func ShrinkDivergence(src string, cfg core.Config, evals int) (string, *Divergen
 		}
 	}
 	small := Shrink(src, check, evals)
-	c := cfg
-	_, err := RunDiff(small, c)
+	_, err := run(small, cfg)
 	var d *Divergence
 	errors.As(err, &d)
 	return small, d

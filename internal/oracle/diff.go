@@ -86,8 +86,8 @@ func RunDiff(source string, cfg core.Config) (*Result, error) {
 		}
 		if ref.St.PC != pc {
 			return &Divergence{Where: where,
-				Diff:    fmt.Sprintf("PC: machine %#08x, reference %#08x", pc, ref.St.PC),
-				Seq:     ref.Retired(), Context: ref.Context()}
+				Diff: fmt.Sprintf("PC: machine %#08x, reference %#08x", pc, ref.St.PC),
+				Seq:  ref.Retired(), Context: ref.Context()}
 		}
 		if diff, ok := arch.CompareRegisters(m.St, ref.St); !ok {
 			return &Divergence{Where: where, Diff: diff,
@@ -99,8 +99,8 @@ func RunDiff(source string, cfg core.Config) (*Result, error) {
 		}
 		if !bytes.Equal(m.St.Output, ref.St.Output) {
 			return &Divergence{Where: where,
-				Diff:    fmt.Sprintf("output: machine %q, reference %q", m.St.Output, ref.St.Output),
-				Seq:     ref.Retired(), Context: ref.Context()}
+				Diff: fmt.Sprintf("output: machine %q, reference %q", m.St.Output, ref.St.Output),
+				Seq:  ref.Retired(), Context: ref.Context()}
 		}
 		return nil
 	}
@@ -117,8 +117,8 @@ func RunDiff(source string, cfg core.Config) (*Result, error) {
 			return nil, &ProgramError{Stage: "reference", Err: refErr}
 		}
 		return nil, &Divergence{Where: "machine fault",
-			Diff:    fmt.Sprintf("machine error %q but the reference halted cleanly (exit %d)", err, ref.St.ExitCode),
-			Seq:     ref.Retired(), Context: ref.Context()}
+			Diff: fmt.Sprintf("machine error %q but the reference halted cleanly (exit %d)", err, ref.St.ExitCode),
+			Seq:  ref.Retired(), Context: ref.Context()}
 	}
 
 	if d := finalDiff(m, ref); d != nil {

@@ -55,7 +55,10 @@ type Pipeline struct {
 	cfg Config
 
 	prevWasLoad bool
-	prevDests   []isa.Loc
+	// prevDests is a fixed buffer (no producer writes more than four
+	// locations) so pricing never allocates per decoded load.
+	prevDests  [4]isa.Loc
+	nPrevDests int
 
 	// scoreboard (multicycle mode): in-flight results and when they are
 	// ready, in pipeline time.
@@ -69,7 +72,8 @@ type Pipeline struct {
 }
 
 type flight struct {
-	locs    []isa.Loc
+	locs    [4]isa.Loc
+	n       int
 	readyAt uint64
 }
 
@@ -84,7 +88,7 @@ func (p *Pipeline) Price(in *isa.Inst, eff isa.Effects, out isa.Outcome) int {
 		return p.priceScoreboard(in, eff, out)
 	}
 	cycles := 1
-	if p.prevWasLoad && overlap(eff.Reads, p.prevDests) {
+	if p.prevWasLoad && overlap(eff.Reads, p.prevDests[:p.nPrevDests]) {
 		cycles += p.cfg.LoadUseBubble
 		p.LoadStalls++
 		p.Bubbles += uint64(p.cfg.LoadUseBubble)
@@ -96,7 +100,7 @@ func (p *Pipeline) Price(in *isa.Inst, eff isa.Effects, out isa.Outcome) int {
 	}
 	p.prevWasLoad = in.IsLoad()
 	if p.prevWasLoad {
-		p.prevDests = append(p.prevDests[:0], eff.Writes...)
+		p.nPrevDests = copy(p.prevDests[:], eff.Writes)
 	}
 	p.Cycles += uint64(cycles)
 	return cycles
@@ -111,7 +115,7 @@ func (p *Pipeline) priceScoreboard(in *isa.Inst, eff isa.Effects, out isa.Outcom
 		if f.readyAt <= p.now {
 			continue // retired
 		}
-		if overlap(eff.Reads, f.locs) && f.readyAt > issue {
+		if overlap(eff.Reads, f.locs[:f.n]) && f.readyAt > issue {
 			issue = f.readyAt
 		}
 		keep = append(keep, f)
@@ -130,10 +134,9 @@ func (p *Pipeline) priceScoreboard(in *isa.Inst, eff isa.Effects, out isa.Outcom
 	}
 	p.now += uint64(cycles)
 	if l := p.cfg.latencyOf(in); l > 1 && len(eff.Writes) > 0 {
-		p.inflight = append(p.inflight, flight{
-			locs:    append([]isa.Loc(nil), eff.Writes...),
-			readyAt: p.now + uint64(l) - 1,
-		})
+		f := flight{readyAt: p.now + uint64(l) - 1}
+		f.n = copy(f.locs[:], eff.Writes)
+		p.inflight = append(p.inflight, f)
 	}
 	p.Cycles += uint64(cycles)
 	return cycles
@@ -143,7 +146,7 @@ func (p *Pipeline) priceScoreboard(in *isa.Inst, eff isa.Effects, out isa.Outcom
 // refill cost is charged separately).
 func (p *Pipeline) FlushState() {
 	p.prevWasLoad = false
-	p.prevDests = p.prevDests[:0]
+	p.nPrevDests = 0
 	p.inflight = p.inflight[:0]
 }
 

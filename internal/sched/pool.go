@@ -59,7 +59,7 @@ func (u *Scheduler) grabLocs(src []isa.Loc) []isa.Loc {
 	start := len(u.locArena)
 	u.locArena = append(u.locArena, src...)
 	out := u.locArena[start:]
-	return out[: len(out) : len(out)]
+	return out[:len(out):len(out)]
 }
 
 // grabPairs is grabLocs for rename-pair lists (Renames, SrcRenames,
@@ -79,7 +79,7 @@ func (u *Scheduler) grabPairs(src []RenamePair) []RenamePair {
 	start := len(u.pairArena)
 	u.pairArena = append(u.pairArena, src...)
 	out := u.pairArena[start:]
-	return out[: len(out) : len(out)]
+	return out[:len(out):len(out)]
 }
 
 // releaseElement resets an element and returns it to the pool. Its slot

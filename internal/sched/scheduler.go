@@ -26,13 +26,13 @@ type element struct {
 	sigW []isa.Sig
 
 	// Cached aggregates over installed slots (maintained by add/remove).
-	occ     int     // occupied slots
-	occMask uint64  // bit i set iff slots[i] != nil (Width ≤ 64, enforced by Validate)
-	slotLat []uint8 // per-slot producer latency, parallel to slots
-	ctis    int     // installed conditional/indirect branches
-	mems    int     // slots touching memory (incl. memory copies)
-	stores  int     // stores and memory copies (cohabitation rule)
-	loads   int     // loads (cohabitation rule)
+	occ     int        // occupied slots
+	occMask uint64     // bit i set iff slots[i] != nil (Width ≤ 64, enforced by Validate)
+	slotLat []uint8    // per-slot producer latency, parallel to slots
+	ctis    int        // installed conditional/indirect branches
+	mems    int        // slots touching memory (incl. memory copies)
+	stores  int        // stores and memory copies (cohabitation rule)
+	loads   int        // loads (cohabitation rule)
 	rsig    isa.Sig    // OR of installed read signatures
 	wsigLat []isa.Sig  // write signatures bucketed by producer latency (1..maxLat)
 	latMask uint64     // bit l set iff wsigLat[l] is nonempty

@@ -163,6 +163,41 @@ func (s *Slot) Reads() []isa.Loc { return s.reads }
 // Writes returns the slot's architectural write set after renaming.
 func (s *Slot) Writes() []isa.Loc { return s.writes }
 
+// SrcRenameTarget reports whether the slot reads location l from a
+// renaming register instead of the architectural location (source
+// forwarding, paper Figure 2: the rescheduled consumer of a split
+// instruction's result reads the renaming register directly). It is the
+// single definition of source-operand matching shared by the interpreted
+// VLIW Engine and block lowering.
+func (s *Slot) SrcRenameTarget(l isa.Loc) (RenameReg, bool) {
+	for _, p := range s.SrcRenames {
+		if p.Loc == l {
+			return p.Reg, true
+		}
+	}
+	return RenameReg{}, false
+}
+
+// RenameTarget reports whether the slot's writes to location l are
+// redirected to a renaming register by a split (paper §3.7). Register
+// locations match on their physical index; a memory renaming register
+// captures every memory write of the slot regardless of the runtime
+// address. Like SrcRenameTarget, it is shared by the interpreted engine
+// and block lowering so both apply identical matching rules.
+func (s *Slot) RenameTarget(l isa.Loc) (RenameReg, bool) {
+	for _, p := range s.Renames {
+		if p.Loc.Kind == l.Kind && (l.Kind != isa.LocIReg && l.Kind != isa.LocFReg || p.Loc.Idx == l.Idx) {
+			if l.Kind == isa.LocMem {
+				return p.Reg, true
+			}
+			if p.Loc == l {
+				return p.Reg, true
+			}
+		}
+	}
+	return RenameReg{}, false
+}
+
 // IsCondOrIndirectBranch reports whether the slot establishes a control
 // dependency (paper §3.8: only conditional and indirect branches do).
 func (s *Slot) IsCondOrIndirectBranch() bool {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"dtsvliw/internal/sched"
+	"dtsvliw/internal/vliw"
 )
 
 // Config sizes the VLIW Cache.
@@ -54,8 +55,17 @@ type line struct {
 	valid bool
 	tag   uint32
 	cwp   uint8
-	blk   *sched.Block
+	ent   Entry
 	lru   uint64
+}
+
+// Entry is one cache line's payload: the scheduled block and, when the
+// machine runs the lowered engine path, its decode-once lowered form
+// (the software analogue of the paper's decoded-instruction line, §3.4).
+// Low is nil when lowering was disabled or fell back.
+type Entry struct {
+	Blk *sched.Block
+	Low *vliw.LoweredBlock
 }
 
 // New builds a VLIW Cache.
@@ -82,7 +92,7 @@ func (c *Cache) set(tag uint32) int { return int(tag>>2) % c.sets }
 // part of the tag: the physical register addresses recorded in a block are
 // only valid at the window depth the block was scheduled at (see DESIGN.md
 // §5). It counts a hit or miss.
-func (c *Cache) Lookup(addr uint32, cwp uint8) (*sched.Block, bool) {
+func (c *Cache) Lookup(addr uint32, cwp uint8) (Entry, bool) {
 	base := c.set(addr) * c.cfg.Assoc
 	for i := 0; i < c.cfg.Assoc; i++ {
 		l := &c.lines[base+i]
@@ -90,28 +100,28 @@ func (c *Cache) Lookup(addr uint32, cwp uint8) (*sched.Block, bool) {
 			c.clock++
 			l.lru = c.clock
 			c.Hits++
-			return l.blk, true
+			return l.ent, true
 		}
 	}
 	c.Misses++
-	return nil, false
+	return Entry{}, false
 }
 
 // Probe is Lookup without statistics, for callers that only test presence.
-func (c *Cache) Probe(addr uint32, cwp uint8) (*sched.Block, bool) {
+func (c *Cache) Probe(addr uint32, cwp uint8) (Entry, bool) {
 	base := c.set(addr) * c.cfg.Assoc
 	for i := 0; i < c.cfg.Assoc; i++ {
 		l := &c.lines[base+i]
 		if l.valid && l.tag == addr && l.cwp == cwp {
-			return l.blk, true
+			return l.ent, true
 		}
 	}
-	return nil, false
+	return Entry{}, false
 }
 
-// Save stores a block, replacing the LRU way of its set (or an existing
-// block with the same tag).
-func (c *Cache) Save(b *sched.Block) {
+// Save stores a block and its (possibly nil) lowered form, replacing the
+// LRU way of its set (or an existing block with the same tag).
+func (c *Cache) Save(b *sched.Block, low *vliw.LoweredBlock) {
 	c.Stores++
 	c.clock++
 	base := c.set(b.Tag) * c.cfg.Assoc
@@ -132,7 +142,8 @@ func (c *Cache) Save(b *sched.Block) {
 	if c.lines[victim].valid && (c.lines[victim].tag != b.Tag || c.lines[victim].cwp != b.EntryCWP) {
 		c.Replaced++
 	}
-	c.lines[victim] = line{valid: true, tag: b.Tag, cwp: b.EntryCWP, blk: b, lru: c.clock}
+	c.lines[victim] = line{valid: true, tag: b.Tag, cwp: b.EntryCWP,
+		ent: Entry{Blk: b, Low: low}, lru: c.clock}
 }
 
 // Invalidate drops the block tagged (addr, cwp) (paper §3.11: aliasing

@@ -84,7 +84,7 @@ func TestEvictionTable(t *testing.T) {
 				tag := uint32(base + 4*o.n)
 				switch o.kind {
 				case "save":
-					c.Save(blk(tag, 0))
+					c.Save(blk(tag, 0), nil)
 				case "touch":
 					if _, ok := c.Lookup(tag, 0); !ok {
 						t.Fatalf("touch %d missed", o.n)
@@ -126,7 +126,7 @@ func TestNBAChaining(t *testing.T) {
 			if i == len(tags)-1 {
 				next = 0x9000 // chain leaves the cached region
 			}
-			c.Save(blkNBA(tag, 0, next))
+			c.Save(blkNBA(tag, 0, next), nil)
 		}
 		return c
 	}
@@ -135,12 +135,12 @@ func TestNBAChaining(t *testing.T) {
 	walk := func(c *Cache, from uint32) []uint32 {
 		var hit []uint32
 		for addr := from; ; {
-			b, ok := c.Lookup(addr, 0)
+			ent, ok := c.Lookup(addr, 0)
 			if !ok {
 				return hit
 			}
-			hit = append(hit, b.Tag)
-			addr = b.NBA.Addr
+			hit = append(hit, ent.Blk.Tag)
+			addr = ent.Blk.NBA.Addr
 		}
 	}
 
@@ -173,7 +173,7 @@ func TestNBAChaining(t *testing.T) {
 		// A block scheduled at another window depth does not satisfy the
 		// chain even with the right address.
 		c.Invalidate(tags[1], 0)
-		c.Save(blkNBA(tags[1], 5, tags[2]))
+		c.Save(blkNBA(tags[1], 5, tags[2]), nil)
 		got := walk(c, tags[0])
 		if len(got) != 1 {
 			t.Fatalf("chain crossed a window-depth boundary: hit %#x", got)
@@ -182,7 +182,7 @@ func TestNBAChaining(t *testing.T) {
 	t.Run("rebuilt-link-restores-chain", func(t *testing.T) {
 		c := build(t)
 		c.Invalidate(tags[2], 0)
-		c.Save(blkNBA(tags[2], 0, tags[3]))
+		c.Save(blkNBA(tags[2], 0, tags[3]), nil)
 		got := walk(c, tags[0])
 		if len(got) != len(tags) {
 			t.Fatalf("re-saved link did not restore the chain: hit %#x", got)
@@ -198,7 +198,7 @@ func TestInvalidateEdgeCases(t *testing.T) {
 		run  func(t *testing.T, c *Cache)
 	}{
 		{"missing-tag-is-noop", func(t *testing.T, c *Cache) {
-			c.Save(blk(0x1000, 0))
+			c.Save(blk(0x1000, 0), nil)
 			c.Invalidate(0x2000, 0)
 			if c.Invalidats != 0 {
 				t.Fatal("counted an invalidation that hit nothing")
@@ -208,7 +208,7 @@ func TestInvalidateEdgeCases(t *testing.T) {
 			}
 		}},
 		{"wrong-cwp-is-noop", func(t *testing.T, c *Cache) {
-			c.Save(blk(0x1000, 2))
+			c.Save(blk(0x1000, 2), nil)
 			c.Invalidate(0x1000, 3)
 			if c.Invalidats != 0 {
 				t.Fatal("invalidation crossed window depths")
@@ -218,7 +218,7 @@ func TestInvalidateEdgeCases(t *testing.T) {
 			}
 		}},
 		{"double-invalidate-counts-once", func(t *testing.T, c *Cache) {
-			c.Save(blk(0x1000, 0))
+			c.Save(blk(0x1000, 0), nil)
 			c.Invalidate(0x1000, 0)
 			c.Invalidate(0x1000, 0)
 			if c.Invalidats != 1 {
@@ -226,8 +226,8 @@ func TestInvalidateEdgeCases(t *testing.T) {
 			}
 		}},
 		{"selective-among-cwp-versions", func(t *testing.T, c *Cache) {
-			c.Save(blk(0x1000, 1))
-			c.Save(blk(0x1000, 2))
+			c.Save(blk(0x1000, 1), nil)
+			c.Save(blk(0x1000, 2), nil)
 			c.Invalidate(0x1000, 1)
 			if _, ok := c.Probe(0x1000, 1); ok {
 				t.Fatal("target version survived")
@@ -237,9 +237,9 @@ func TestInvalidateEdgeCases(t *testing.T) {
 			}
 		}},
 		{"invalidated-way-is-reusable", func(t *testing.T, c *Cache) {
-			c.Save(blk(0x1000, 0))
+			c.Save(blk(0x1000, 0), nil)
 			c.Invalidate(0x1000, 0)
-			c.Save(blk(0x1000, 0))
+			c.Save(blk(0x1000, 0), nil)
 			if _, ok := c.Probe(0x1000, 0); !ok {
 				t.Fatal("re-save after invalidation missed")
 			}

@@ -32,7 +32,7 @@ func TestSaveLookupInvalidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := blk(0x1000, 3)
-	c.Save(b)
+	c.Save(b, nil)
 	if _, ok := c.Lookup(0x1000, 3); !ok {
 		t.Fatal("block not found")
 	}
@@ -56,8 +56,8 @@ func TestSameTagDifferentCWPCoexist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Save(blk(0x2000, 1))
-	c.Save(blk(0x2000, 2))
+	c.Save(blk(0x2000, 1), nil)
+	c.Save(blk(0x2000, 2), nil)
 	if _, ok := c.Probe(0x2000, 1); !ok {
 		t.Fatal("cwp 1 version lost")
 	}
@@ -73,10 +73,10 @@ func TestOverwriteSameTag(t *testing.T) {
 	}
 	b1 := blk(0x3000, 0)
 	b2 := blk(0x3000, 0)
-	c.Save(b1)
-	c.Save(b2)
+	c.Save(b1, nil)
+	c.Save(b2, nil)
 	got, ok := c.Probe(0x3000, 0)
-	if !ok || got != b2 {
+	if !ok || got.Blk != b2 {
 		t.Fatal("rescheduled block should replace the old version in place")
 	}
 	if c.Replaced != 0 {
@@ -95,10 +95,10 @@ func TestLRUReplacement(t *testing.T) {
 	t0 := uint32(0x1000)
 	t1 := t0 + uint32(sets)*4
 	t2 := t1 + uint32(sets)*4
-	c.Save(blk(t0, 0))
-	c.Save(blk(t1, 0))
+	c.Save(blk(t0, 0), nil)
+	c.Save(blk(t1, 0), nil)
 	c.Lookup(t0, 0) // touch t0
-	c.Save(blk(t2, 0))
+	c.Save(blk(t2, 0), nil)
 	if _, ok := c.Probe(t0, 0); !ok {
 		t.Fatal("recently used block evicted")
 	}
@@ -116,7 +116,7 @@ func TestManyBlocksChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2000; i++ {
-		c.Save(blk(uint32(0x1000+i*4), uint8(i%4)))
+		c.Save(blk(uint32(0x1000+i*4), uint8(i%4)), nil)
 	}
 	hits := 0
 	for i := 0; i < 2000; i++ {
@@ -132,7 +132,7 @@ func TestManyBlocksChurn(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	c, _ := New(cfg(96, 2))
-	c.Save(blk(0x1000, 0))
+	c.Save(blk(0x1000, 0), nil)
 	c.Reset()
 	if _, ok := c.Probe(0x1000, 0); ok {
 		t.Fatal("reset did not clear contents")

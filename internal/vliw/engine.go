@@ -28,12 +28,18 @@ type microStore struct {
 	size uint8
 }
 
+// maxMicroStores is the most micro-stores one instruction can produce
+// (STD/STDF write two words); buffers are inline arrays of this size so
+// the hot path never allocates.
+const maxMicroStores = 2
+
 // renVal is the runtime contents of one renaming register.
 type renVal struct {
-	val    uint32
-	exc    error        // deferred exception (paper §3.8)
-	stores []microStore // memory renaming registers buffer the store data
-	memEA  uint32       // runtime effective address of a renamed store
+	val   uint32
+	exc   error                      // deferred exception (paper §3.8)
+	st    [maxMicroStores]microStore // memory renaming registers buffer the store data
+	nst   uint8
+	memEA uint32 // runtime effective address of a renamed store
 }
 
 // memRec is one entry of the load or store list (paper §3.10).
@@ -119,15 +125,28 @@ type Stats struct {
 	MaxDataStoreList int
 }
 
-// Engine executes blocks of long instructions.
+// Engine executes blocks of long instructions. Blocks run in one of two
+// forms: the interpreted path re-executes sched.Slot/isa.Inst structures
+// through isa.Exec, while the lowered path (BeginLowered) dispatches the
+// decode-once micro-op form produced by Lower. Both paths share the
+// commit, aliasing, checkpoint and statistics machinery and are
+// behaviourally identical.
 type Engine struct {
 	st   *arch.State
 	nwin int
 
 	block *sched.Block
+	lb    *LoweredBlock // non-nil while executing a lowered block
 	ren   [sched.NumRenameClasses][]renVal
 	loads []memRec
 	strs  []memRec
+
+	// Flat renaming-register file for the lowered path: one arena indexed
+	// by LoweredBlock's flattened register numbers, invalidated per block
+	// by epoch stamping instead of clearing.
+	flatRen   []renVal
+	flatStamp []uint32
+	epoch     uint32
 
 	shadowRegs []uint32
 	shadowF    [32]uint32
@@ -141,10 +160,25 @@ type Engine struct {
 	overlay *dataStoreOverlay
 
 	// Multicycle extension: writes of latency-L slots commit at the end
-	// of long instruction issueLI+L-1.
+	// of long instruction issueLI+L-1. pendRens carries the interpreted
+	// path's class-indexed registers; lpendRens the lowered path's flat
+	// indices. Only one is populated per block.
 	pendWrites []pendWrite
 	pendRens   []pendRen
+	lpendRens  []lpendRen
 	maxDue     int
+
+	// Per-LI scratch arenas, reused across ExecLI calls so the steady-
+	// state hot loop never allocates. Result.MemAddrs and Result.Stores
+	// alias scMemAddrs/scStores and are valid until the next ExecLI.
+	scWrites   []pendWrite
+	scRens     []pendRen
+	scLRens    []lpendRen
+	scPend     []microStore
+	scMemOps   []opMem
+	scMemAddrs []uint32
+	scStores   []arch.StoreRec
+	env        slotEnv // reusable isa.Env adapter for the interpreted path
 
 	Stats Stats
 }
@@ -161,6 +195,14 @@ type pendRen struct {
 	r   renWrite
 }
 
+// lpendRen is the lowered path's pendRen: the target register is a flat
+// index into the engine's epoch-stamped rename arena.
+type lpendRen struct {
+	due  int
+	flat int32
+	v    renVal
+}
+
 // getRenBypass reads a renaming register through the result-forwarding
 // bypass: a copy instruction scheduled inside its multicycle producer's
 // latency shadow picks the value up from the functional unit's output
@@ -174,6 +216,31 @@ func (e *Engine) getRenBypass(r sched.RenameReg) renVal {
 	return e.getRen(r)
 }
 
+// getRenFlat reads the lowered path's flat rename file; an entry whose
+// stamp predates the current block epoch reads as empty.
+func (e *Engine) getRenFlat(flat int32) renVal {
+	if e.flatStamp[flat] != e.epoch {
+		return renVal{}
+	}
+	return e.flatRen[flat]
+}
+
+func (e *Engine) setRenFlat(flat int32, v renVal) {
+	e.flatRen[flat] = v
+	e.flatStamp[flat] = e.epoch
+}
+
+// getRenBypassFlat is getRenBypass for the lowered path: copies inside a
+// multicycle producer's latency shadow read the newest pending write.
+func (e *Engine) getRenBypassFlat(flat int32) renVal {
+	for i := len(e.lpendRens) - 1; i >= 0; i-- {
+		if e.lpendRens[i].flat == flat {
+			return e.lpendRens[i].v
+		}
+	}
+	return e.getRenFlat(flat)
+}
+
 // New builds a VLIW Engine over the shared architectural state.
 func New(st *arch.State) *Engine {
 	return &Engine{st: st, nwin: st.NWin}
@@ -182,11 +249,12 @@ func New(st *arch.State) *Engine {
 // Block returns the block currently being executed.
 func (e *Engine) Block() *sched.Block { return e.block }
 
-// BeginBlock starts executing block b: it takes a checkpoint of the SPARC
-// state (paper §3.11) and clears the renaming registers and the load and
-// store lists.
+// BeginBlock starts executing block b on the interpreted path: it takes a
+// checkpoint of the SPARC state (paper §3.11) and clears the renaming
+// registers and the load and store lists.
 func (e *Engine) BeginBlock(b *sched.Block) {
-	e.block = b
+	e.lb = nil
+	e.beginCommon(b)
 	for c := range e.ren {
 		e.ren[c] = e.ren[c][:0]
 		if n := int(b.Renames[c]); n > 0 {
@@ -200,11 +268,39 @@ func (e *Engine) BeginBlock(b *sched.Block) {
 			}
 		}
 	}
+}
+
+// BeginLowered starts executing the lowered form of a block: the same
+// checkpoint as BeginBlock, with the flat renaming-register arena
+// invalidated by bumping the epoch stamp instead of clearing.
+func (e *Engine) BeginLowered(lb *LoweredBlock) {
+	e.lb = lb
+	e.beginCommon(lb.b)
+	e.epoch++
+	if e.epoch == 0 {
+		// Stamp wrap-around: reset all stamps so stale epoch-0 entries
+		// cannot read as valid (once every 2^32 blocks).
+		for i := range e.flatStamp {
+			e.flatStamp[i] = 0
+		}
+		e.epoch = 1
+	}
+	if len(e.flatRen) < lb.renTotal {
+		e.flatRen = make([]renVal, lb.renTotal)
+		e.flatStamp = make([]uint32, lb.renTotal)
+	}
+}
+
+// beginCommon takes the block-entry checkpoint and clears per-block state
+// shared by the interpreted and lowered paths.
+func (e *Engine) beginCommon(b *sched.Block) {
+	e.block = b
 	e.loads = e.loads[:0]
 	e.strs = e.strs[:0]
 	e.undo = e.undo[:0]
 	e.pendWrites = e.pendWrites[:0]
 	e.pendRens = e.pendRens[:0]
+	e.lpendRens = e.lpendRens[:0]
 	e.maxDue = 0
 	if e.shadowRegs == nil {
 		e.shadowRegs = make([]uint32, len(e.st.Regs))
@@ -231,6 +327,7 @@ func (e *Engine) recover() int {
 	e.st.SetCWP(e.shadowCWP)
 	e.pendWrites = e.pendWrites[:0]
 	e.pendRens = e.pendRens[:0]
+	e.lpendRens = e.lpendRens[:0]
 	e.maxDue = 0
 	if e.scheme == SchemeStoreList {
 		// Discarding the data store list is the whole recovery for
@@ -283,33 +380,30 @@ type slotEnv struct {
 
 	writes []bufWrite
 	rens   []renWrite
-	stores []microStore
+	stores [maxMicroStores]microStore
+	nst    uint8
 	memEA  uint32
 }
 
+// reset rebinds the reusable environment to slot s.
+func (v *slotEnv) reset(e *Engine, s *sched.Slot) {
+	v.eng = e
+	v.slot = s
+	v.writes = v.writes[:0]
+	v.rens = v.rens[:0]
+	v.nst = 0
+	v.memEA = 0
+}
+
 // srcRenameFor reports whether the slot reads location l from a renaming
-// register (source forwarding, paper Figure 2).
+// register (source forwarding, paper Figure 2). The matching rules live
+// on sched.Slot so block lowering applies the identical definition.
 func (v *slotEnv) srcRenameFor(l isa.Loc) (sched.RenameReg, bool) {
-	for _, p := range v.slot.SrcRenames {
-		if p.Loc == l {
-			return p.Reg, true
-		}
-	}
-	return sched.RenameReg{}, false
+	return v.slot.SrcRenameTarget(l)
 }
 
 func (v *slotEnv) renameFor(l isa.Loc) (sched.RenameReg, bool) {
-	for _, p := range v.slot.Renames {
-		if p.Loc.Kind == l.Kind && (l.Kind != isa.LocIReg && l.Kind != isa.LocFReg || p.Loc.Idx == l.Idx) {
-			if l.Kind == isa.LocMem {
-				return p.Reg, true
-			}
-			if p.Loc == l {
-				return p.Reg, true
-			}
-		}
-	}
-	return sched.RenameReg{}, false
+	return v.slot.RenameTarget(l)
 }
 
 func (v *slotEnv) ReadReg(idx uint16) uint32 {
@@ -393,19 +487,30 @@ func (v *slotEnv) SetCWP(x uint8) {
 	v.writes = append(v.writes, bufWrite{kind: isa.LocCWP, val: uint32(x)})
 }
 func (v *slotEnv) Load(addr uint32, size uint8) (uint32, error) {
-	if v.eng.scheme == SchemeStoreList {
-		// Loads read the data store list over the Data Cache and use the
-		// last data stored on a list hit (paper §3.11).
-		return v.eng.overlay.read(v.eng, addr, size)
-	}
-	return v.eng.st.Mem.Read(addr, size)
+	return v.eng.loadMem(addr, size)
 }
 func (v *slotEnv) Store(addr uint32, val uint32, size uint8) error {
 	// Buffered; applied at the end of the long instruction (or routed to a
 	// memory renaming register for split stores).
-	v.stores = append(v.stores, microStore{addr: addr, val: val, size: size})
-	if len(v.stores) == 1 {
+	if int(v.nst) >= len(v.stores) {
+		return fmt.Errorf("vliw: more than %d micro-stores in one operation", len(v.stores))
+	}
+	v.stores[v.nst] = microStore{addr: addr, val: val, size: size}
+	v.nst++
+	if v.nst == 1 {
 		v.memEA = addr // base EA: first micro-store of the operation
 	}
 	return nil
+}
+
+// loadMem performs one in-block memory read, honouring the data-store-
+// list overlay when the §3.11 scheme is active. Shared by both execution
+// paths.
+func (e *Engine) loadMem(addr uint32, size uint8) (uint32, error) {
+	if e.scheme == SchemeStoreList {
+		// Loads read the data store list over the Data Cache and use the
+		// last data stored on a list hit (paper §3.11).
+		return e.overlay.read(e, addr, size)
+	}
+	return e.st.Mem.Read(addr, size)
 }

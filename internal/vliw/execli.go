@@ -13,7 +13,13 @@ import (
 // reads observe the state before the long instruction; writes commit at
 // its end, gated by branch tags. On an exception, the block has already
 // been rolled back to its entry checkpoint when ExecLI returns.
+//
+// Result.MemAddrs and Result.Stores alias engine-owned scratch arenas and
+// are valid only until the next ExecLI call.
 func (e *Engine) ExecLI(line int) Result {
+	if e.lb != nil {
+		return e.execLoweredLI(line)
+	}
 	var res Result
 	if e.block == nil || line < 0 || line >= e.block.NumLIs {
 		res.Exception = true
@@ -59,13 +65,10 @@ func (e *Engine) ExecLI(line int) Result {
 		}
 	}
 
-	// Phase 2: execute valid slots, buffering writes. Each write carries
-	// the long-instruction index at which its producer's latency lands.
-	var writes []pendWrite
-	var rens []pendRen
-	var pend []microStore // architectural stores to apply
-	var memOps []opMem    // aliasing metadata of committed memory ops
-	var memAddrs []uint32 // for Data Cache timing
+	// Phase 2: execute valid slots, buffering writes into the reusable
+	// scratch arenas. Each write carries the long-instruction index at
+	// which its producer's latency lands.
+	e.resetScratch()
 	committed, annulled := 0, 0
 
 	for _, s := range li {
@@ -78,8 +81,7 @@ func (e *Engine) ExecLI(line int) Result {
 		}
 		committed++
 		if s.IsCopy {
-			ms, ops, bw, err := e.execCopy(s)
-			if err != nil {
+			if err := e.execCopy(s, line); err != nil {
 				e.Stats.Exceptions++
 				if _, alias := err.(*AliasingError); alias {
 					e.Stats.Aliasing++
@@ -90,16 +92,12 @@ func (e *Engine) ExecLI(line int) Result {
 				res.Err = err
 				return res
 			}
-			pend = append(pend, ms...)
-			memOps = append(memOps, ops...)
-			for _, w := range bw {
-				writes = append(writes, pendWrite{due: line, w: w})
-			}
 			e.Stats.CopiesExecuted++
 			continue
 		}
 
-		env := &slotEnv{eng: e, slot: s}
+		env := &e.env
+		env.reset(e, s)
 		out, err := isa.Exec(&s.Inst, s.Addr, env, e.nwin)
 		if err != nil {
 			if len(s.Renames) > 0 {
@@ -107,7 +105,7 @@ func (e *Engine) ExecLI(line int) Result {
 				// it surfaces only if a copy commits (paper §3.8).
 				due := line + s.LatOr1() - 1
 				for _, p := range s.Renames {
-					rens = append(rens, pendRen{due: due,
+					e.scRens = append(e.scRens, pendRen{due: due,
 						r: renWrite{reg: p.Reg, v: renVal{exc: err}}})
 				}
 				continue
@@ -134,36 +132,32 @@ func (e *Engine) ExecLI(line int) Result {
 			// renaming register.
 			for _, p := range s.Renames {
 				if p.Loc.Kind == isa.LocMem {
-					rens = append(rens, pendRen{due: due,
-						r: renWrite{reg: p.Reg, v: renVal{stores: env.stores, memEA: env.memEA}}})
+					e.scRens = append(e.scRens, pendRen{due: due,
+						r: renWrite{reg: p.Reg, v: renVal{st: env.stores, nst: env.nst, memEA: env.memEA}}})
 				}
 			}
-			env.stores = nil
+			env.nst = 0
 		}
 
 		for _, w := range env.writes {
-			writes = append(writes, pendWrite{due: due, w: w})
+			e.scWrites = append(e.scWrites, pendWrite{due: due, w: w})
 		}
 		for _, r := range env.rens {
-			rens = append(rens, pendRen{due: due, r: r})
+			e.scRens = append(e.scRens, pendRen{due: due, r: r})
 		}
-		pend = append(pend, env.stores...)
-		if s.IsMem && out.HasEA {
-			memAddrs = append(memAddrs, out.EA)
-			if !s.MemRenamed {
-				memOps = append(memOps, opMem{
-					addr: out.EA, size: s.MemSize, order: s.Order,
-					cross: s.Cross, isStore: s.IsStore,
-				})
-			} else {
-				// The renamed store's access is charged when its memory
-				// copy commits; drop the speculative charge.
-				memAddrs = memAddrs[:len(memAddrs)-1]
-			}
+		e.scPend = append(e.scPend, env.stores[:env.nst]...)
+		if s.IsMem && out.HasEA && !s.MemRenamed {
+			// A renamed store's access is charged when its memory copy
+			// commits; only direct memory operations count here.
+			e.scMemAddrs = append(e.scMemAddrs, out.EA)
+			e.scMemOps = append(e.scMemOps, opMem{
+				addr: out.EA, size: s.MemSize, order: s.Order,
+				cross: s.Cross, isStore: s.IsStore,
+			})
 		}
 	}
 	// Phase 3: aliasing detection (paper §3.10) before anything commits.
-	if err := e.checkAliasing(memOps); err != nil {
+	if err := e.checkAliasing(e.scMemOps); err != nil {
 		e.Stats.Exceptions++
 		e.Stats.Aliasing++
 		res.RecoveryCycles = e.recover()
@@ -173,15 +167,51 @@ func (e *Engine) ExecLI(line int) Result {
 		return res
 	}
 
-	// Phase 4: commit. Non-memory writes and renaming registers commit at
-	// the end of the long instruction their producer's latency reaches
-	// (multicycle extension; with all-1 latencies everything commits now).
-	// In-flight writes from earlier long instructions land first: when an
-	// older producer's latency expires in the same long instruction in
-	// which a younger instruction writes the same location, program order
-	// requires the younger value to be the survivor.
+	if !e.commitLI(line, &res) {
+		return res
+	}
+
+	e.Stats.OpsCommitted += uint64(committed)
+	e.Stats.OpsAnnulled += uint64(annulled)
+	res.Committed = committed
+	res.Annulled = annulled
+	res.MemAddrs = e.scMemAddrs
+	res.Stores = e.scStores
+	if exit {
+		e.Stats.TraceExits++
+		res.TraceExit = true
+		res.NextPC = exitPC
+		res.ExitAdvance = exitSeq - e.block.FirstSeq + 1
+		res.ExitBranch = exitBranch
+	}
+	return res
+}
+
+// resetScratch readies the per-LI scratch arenas for a new long
+// instruction.
+func (e *Engine) resetScratch() {
+	e.scWrites = e.scWrites[:0]
+	e.scRens = e.scRens[:0]
+	e.scLRens = e.scLRens[:0]
+	e.scPend = e.scPend[:0]
+	e.scMemOps = e.scMemOps[:0]
+	e.scMemAddrs = e.scMemAddrs[:0]
+	e.scStores = e.scStores[:0]
+}
+
+// commitLI runs the commit phases shared by the interpreted and lowered
+// paths over the scratch arenas. Phase 4: in-flight writes from earlier
+// long instructions land first (when an older producer's latency expires
+// in the same long instruction in which a younger instruction writes the
+// same location, program order requires the younger value to survive),
+// then this long instruction's writes apply or queue on their due line,
+// then buffered stores reach memory under the active recoverability
+// scheme. Phase 5 records cross-bit memory operations in the load/store
+// lists. It returns false if a memory fault forced a rollback, with res
+// filled in.
+func (e *Engine) commitLI(line int, res *Result) bool {
 	e.commitDue(line)
-	for _, w := range writes {
+	for _, w := range e.scWrites {
 		if w.due <= line {
 			e.applyWrite(w.w)
 		} else {
@@ -191,7 +221,7 @@ func (e *Engine) ExecLI(line int) Result {
 			}
 		}
 	}
-	for _, r := range rens {
+	for _, r := range e.scRens {
 		if r.due <= line {
 			e.setRen(r.r.reg, r.r.v)
 		} else {
@@ -201,7 +231,17 @@ func (e *Engine) ExecLI(line int) Result {
 			}
 		}
 	}
-	for _, ms := range pend {
+	for _, r := range e.scLRens {
+		if r.due <= line {
+			e.setRenFlat(r.flat, r.v)
+		} else {
+			e.lpendRens = append(e.lpendRens, r)
+			if r.due > e.maxDue {
+				e.maxDue = r.due
+			}
+		}
+	}
+	for _, ms := range e.scPend {
 		if e.scheme == SchemeStoreList {
 			// Buffer in the data store list; memory is written at block
 			// end (drain) and the journal is produced there.
@@ -210,7 +250,7 @@ func (e *Engine) ExecLI(line int) Result {
 				res.RecoveryCycles = e.recover()
 				res.Exception = true
 				res.Err = &mem.FaultError{Addr: ms.addr}
-				return res
+				return false
 			}
 			e.overlay.add(ms)
 			continue
@@ -225,9 +265,9 @@ func (e *Engine) ExecLI(line int) Result {
 			res.RecoveryCycles = e.recover()
 			res.Exception = true
 			res.Err = err
-			return res
+			return false
 		}
-		res.Stores = append(res.Stores, arch.StoreRec{Addr: ms.addr, Size: ms.size})
+		e.scStores = append(e.scStores, arch.StoreRec{Addr: ms.addr, Size: ms.size})
 	}
 	if e.scheme == SchemeStoreList {
 		if n := len(e.overlay.log); n > e.Stats.MaxDataStoreList {
@@ -238,7 +278,7 @@ func (e *Engine) ExecLI(line int) Result {
 	}
 
 	// Phase 5: record cross-bit memory operations in the load/store lists.
-	for _, m := range memOps {
+	for _, m := range e.scMemOps {
 		if !m.cross {
 			continue
 		}
@@ -255,20 +295,7 @@ func (e *Engine) ExecLI(line int) Result {
 	if len(e.strs) > e.Stats.MaxStoreList {
 		e.Stats.MaxStoreList = len(e.strs)
 	}
-
-	e.Stats.OpsCommitted += uint64(committed)
-	e.Stats.OpsAnnulled += uint64(annulled)
-	res.Committed = committed
-	res.Annulled = annulled
-	res.MemAddrs = memAddrs
-	if exit {
-		e.Stats.TraceExits++
-		res.TraceExit = true
-		res.NextPC = exitPC
-		res.ExitAdvance = exitSeq - e.block.FirstSeq + 1
-		res.ExitBranch = exitBranch
-	}
-	return res
+	return true
 }
 
 func isAliasing(err error) bool {
@@ -303,35 +330,43 @@ func (e *Engine) resolveBranch(s *sched.Slot) (taken bool, target uint32) {
 // execCopy commits a copy instruction: each renaming register's value is
 // written to its architectural location; memory renaming registers release
 // their buffered stores. A deferred exception held in a renaming register
-// surfaces here (paper §3.8).
-func (e *Engine) execCopy(s *sched.Slot) (ms []microStore, ops []opMem, bw []bufWrite, err error) {
+// surfaces here (paper §3.8). Results accumulate in the engine's per-LI
+// scratch arenas with a due line of the current long instruction (copies
+// always complete in one cycle).
+func (e *Engine) execCopy(s *sched.Slot, line int) error {
 	for _, p := range s.Copies {
 		rv := e.getRenBypass(p.Reg)
 		if rv.exc != nil {
-			return nil, nil, nil, rv.exc
+			return rv.exc
 		}
 		switch p.Loc.Kind {
 		case isa.LocMem:
-			ms = append(ms, rv.stores...)
-			ops = append(ops, opMem{
+			e.scPend = append(e.scPend, rv.st[:rv.nst]...)
+			e.scMemOps = append(e.scMemOps, opMem{
 				addr: rv.memEA, size: s.MemSize, order: s.Order,
 				cross: s.Cross, isStore: true,
 			})
 		case isa.LocIReg:
-			bw = append(bw, bufWrite{kind: isa.LocIReg, idx: p.Loc.Idx, val: rv.val})
+			e.scWrites = append(e.scWrites, pendWrite{due: line,
+				w: bufWrite{kind: isa.LocIReg, idx: p.Loc.Idx, val: rv.val}})
 		case isa.LocFReg:
-			bw = append(bw, bufWrite{kind: isa.LocFReg, idx: p.Loc.Idx, val: rv.val})
+			e.scWrites = append(e.scWrites, pendWrite{due: line,
+				w: bufWrite{kind: isa.LocFReg, idx: p.Loc.Idx, val: rv.val}})
 		case isa.LocICC:
-			bw = append(bw, bufWrite{kind: isa.LocICC, val: rv.val})
+			e.scWrites = append(e.scWrites, pendWrite{due: line,
+				w: bufWrite{kind: isa.LocICC, val: rv.val}})
 		case isa.LocFCC:
-			bw = append(bw, bufWrite{kind: isa.LocFCC, val: rv.val})
+			e.scWrites = append(e.scWrites, pendWrite{due: line,
+				w: bufWrite{kind: isa.LocFCC, val: rv.val}})
 		case isa.LocY:
-			bw = append(bw, bufWrite{kind: isa.LocY, val: rv.val})
+			e.scWrites = append(e.scWrites, pendWrite{due: line,
+				w: bufWrite{kind: isa.LocY, val: rv.val}})
 		case isa.LocCWP:
-			bw = append(bw, bufWrite{kind: isa.LocCWP, val: rv.val})
+			e.scWrites = append(e.scWrites, pendWrite{due: line,
+				w: bufWrite{kind: isa.LocCWP, val: rv.val}})
 		}
 	}
-	return ms, ops, bw, nil
+	return nil
 }
 
 // checkAliasing applies the paper's §3.10 rules: every load compares
@@ -443,6 +478,17 @@ func (e *Engine) commitDue(line int) {
 			}
 		}
 		e.pendRens = keep
+	}
+	if len(e.lpendRens) > 0 {
+		keep := e.lpendRens[:0]
+		for _, p := range e.lpendRens {
+			if p.due <= line {
+				e.setRenFlat(p.flat, p.v)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		e.lpendRens = keep
 	}
 }
 

@@ -3,11 +3,25 @@
 # Scheduler Unit microbenchmarks. Run from anywhere inside the repo; extra
 # arguments are passed to cmd/experiments (e.g. -v for progress).
 #
+#   scripts/bench.sh            regenerate BENCH_SCHED.json in place
+#   scripts/bench.sh compare    measure into a temp file and print per-entry
+#                               ns/instr and allocs/instr deltas against the
+#                               committed BENCH_SCHED.json (read-only)
+#
 # Measurements are wall-clock sensitive: run on an idle machine and compare
 # against the committed file's go_version/goos/goarch/num_cpu header before
-# reading deltas as regressions.
+# reading deltas as regressions (compare mode warns when they differ).
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "$1" = "compare" ]; then
+    shift
+    tmp=$(mktemp /tmp/bench_sched.XXXXXX.json)
+    trap 'rm -f "$tmp"' EXIT
+    go run ./cmd/experiments -bench-out "$tmp" "$@"
+    go run ./cmd/experiments -bench-diff "BENCH_SCHED.json,$tmp"
+    exit 0
+fi
 
 go run ./cmd/experiments -bench-out BENCH_SCHED.json "$@"
 go test ./internal/sched -run '^$' -bench 'SchedulerFeed' -benchtime 300x
