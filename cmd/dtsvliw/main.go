@@ -31,6 +31,10 @@ func main() {
 	interpreted := flag.Bool("interpreted", false, "disable lowered blocks: VLIW Engine re-interprets scheduler slots")
 	showOutput := flag.Bool("output", false, "print the program's trap output")
 	dumpBlocks := flag.Int("dumpblocks", 0, "print the first N scheduled blocks (Figure 2c style)")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path (open in Perfetto)")
+	profile := flag.Bool("profile", false, "print the hot-block profile and distribution histograms")
+	profileTop := flag.Int("profile-top", 10, "with -profile: hot blocks listed")
+	ringSize := flag.Int("trace-ring", 0, "telemetry event ring capacity (0 = 8k events; raise for long timeline exports)")
 	flag.Parse()
 
 	var cfg dtsvliw.Config
@@ -48,6 +52,10 @@ func main() {
 	cfg.MaxInstrs = *max
 	cfg.TestMode = *testMode
 	cfg.InterpretedEngine = *interpreted
+	if *trace != "" || *profile {
+		cfg.Telemetry = true
+		cfg.TelemetryRingSize = *ringSize
+	}
 
 	var sys *dtsvliw.System
 	var err error
@@ -101,6 +109,29 @@ func main() {
 	}
 	if *showOutput && len(sys.Output()) > 0 {
 		fmt.Printf("program output:      %q\n", sys.Output())
+	}
+
+	if tel := sys.Telemetry(); tel != nil {
+		fmt.Printf("%s\n", tel.Summary())
+		if *profile {
+			fmt.Print(tel.ProfileReport(*profileTop))
+			fmt.Print(tel.HistogramReport())
+		}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tel.WriteChromeTrace(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace:               %s (%d events, %d dropped)\n",
+				*trace, tel.Recorded(), tel.Dropped())
+		}
 	}
 }
 

@@ -7,7 +7,9 @@
 // Usage:
 //
 //	experiments [-run fig5,table3] [-max N] [-csv] [-v] [-par N]
+//	            [-profile] [-profile-top N]
 //	            [-bench-out BENCH_SCHED.json] [-bench-interpreted]
+//	            [-bench-telemetry] [-bench-overhead-gate PCT]
 //	            [-bench-diff OLD.json,NEW.json] [-bench-gate PCT]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
@@ -16,7 +18,15 @@
 // machine entry's ns/instr regressed by more than PCT percent.
 // -bench-interpreted measures the machine rows with the interpreted VLIW
 // Engine, producing the on-runner baseline the CI perf gate compares the
-// lowered engine against.
+// lowered engine against. -bench-telemetry measures the machine rows with
+// the telemetry collector attached, giving overhead comparisons their
+// enabled-side report. -bench-overhead-gate measures the machine rows
+// telemetry-off and telemetry-on with interleaved reps in this one
+// process (robust to host drift) and exits nonzero when enabling
+// telemetry costs any row more than PCT percent ns/instr. -profile
+// prints full per-workload hot-block and histogram telemetry dumps
+// after the requested experiment tables (the "profile" experiment
+// prints the one-line-per-workload summary table).
 package main
 
 import (
@@ -42,6 +52,13 @@ func main() {
 		"measure the benchmark matrix and write BENCH_SCHED.json to this path (skips -run)")
 	benchInterp := flag.Bool("bench-interpreted", false,
 		"with -bench-out: measure machine rows with the interpreted VLIW Engine (perf-gate baseline)")
+	benchTel := flag.Bool("bench-telemetry", false,
+		"with -bench-out: measure machine rows with telemetry enabled (overhead comparison side)")
+	benchOverheadGate := flag.Float64("bench-overhead-gate", 0,
+		"measure machine rows telemetry-off vs -on with interleaved reps; fail past this percent ns/instr overhead (skips -run)")
+	profile := flag.Bool("profile", false,
+		"print per-workload telemetry profile/histogram dumps after the tables")
+	profileTop := flag.Int("profile-top", 5, "with -profile: hot blocks listed per workload")
 	benchDiff := flag.String("bench-diff", "",
 		"compare two benchmark reports: OLD.json,NEW.json (skips -run)")
 	benchGate := flag.Float64("bench-gate", 0,
@@ -65,7 +82,7 @@ func main() {
 	}
 
 	o := experiments.Options{MaxInstrs: *max, TestMode: *test, Workers: *par,
-		InterpretedEngine: *benchInterp}
+		InterpretedEngine: *benchInterp, Telemetry: *benchTel}
 	if *verbose {
 		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -130,6 +147,24 @@ func main() {
 		return
 	}
 
+	if *benchOverheadGate > 0 {
+		deltas, err := experiments.BenchTelemetryOverhead(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-overhead-gate: %v\n", err)
+			exit(1)
+			return
+		}
+		fmt.Print(experiments.FormatBenchDiff(deltas))
+		if err := experiments.GateBenchDiff(deltas, *benchOverheadGate); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			exit(1)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "telemetry overhead gate passed (threshold %+.1f%% ns/instr on machine entries)\n",
+			*benchOverheadGate)
+		return
+	}
+
 	if *benchOut != "" {
 		rep, err := experiments.BenchSched(o)
 		if err != nil {
@@ -172,5 +207,15 @@ func main() {
 		} else {
 			fmt.Println(t)
 		}
+	}
+
+	if *profile {
+		dump, err := experiments.ProfileDumps(o, *profileTop)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			exit(1)
+			return
+		}
+		fmt.Print(dump)
 	}
 }

@@ -21,6 +21,7 @@ package dtsvliw
 
 import (
 	"fmt"
+	"io"
 
 	"dtsvliw/internal/arch"
 	"dtsvliw/internal/asm"
@@ -31,6 +32,7 @@ import (
 	"dtsvliw/internal/mem"
 	"dtsvliw/internal/sched"
 	"dtsvliw/internal/stats"
+	"dtsvliw/internal/telemetry"
 	"dtsvliw/internal/vliw"
 	"dtsvliw/internal/workloads"
 )
@@ -122,6 +124,16 @@ type Config struct {
 	FPLatency    int
 	FPDivLatency int
 
+	// Telemetry attaches a cycle-stamped telemetry collector to the run
+	// (DESIGN.md §12): an event trace exportable as a Perfetto timeline,
+	// per-block profiles, and distribution histograms, read back through
+	// System.Telemetry. Off by default; when off, the machine pays
+	// nothing for the instrumentation.
+	Telemetry bool
+	// TelemetryRingSize bounds the event trace ring (0 = 8k events,
+	// sized to stay cache-resident; raise for long timeline exports).
+	TelemetryRingSize int
+
 	// TestMode runs the sequential test machine in lockstep, validating
 	// every block boundary (paper §4).
 	TestMode bool
@@ -152,6 +164,9 @@ func (c Config) toInternal() (core.Config, error) {
 	base.LoadLatency = c.LoadLatency
 	base.FPLatency = c.FPLatency
 	base.FPDivLatency = c.FPDivLatency
+	if c.Telemetry {
+		base.Telemetry = &telemetry.Config{RingSize: c.TelemetryRingSize}
+	}
 	base.TestMode = c.TestMode
 	base.MaxInstrs = c.MaxInstrs
 	if c.MaxCycles > 0 {
@@ -290,6 +305,25 @@ func (s *System) Run() error {
 
 // Stats returns the run statistics.
 func (s *System) Stats() Stats { return s.m.Stats }
+
+// Telemetry re-exports the cycle-stamped telemetry collector (event
+// trace, per-block profiles, distribution histograms; DESIGN.md §12).
+type Telemetry = telemetry.Collector
+
+// Telemetry returns the run's telemetry collector, or nil when
+// Config.Telemetry was not set.
+func (s *System) Telemetry() *Telemetry { return s.m.Telemetry() }
+
+// WriteTrace exports the telemetry event trace as Chrome trace-event
+// JSON (loadable in Perfetto as an engine-occupancy timeline). It fails
+// when the system was built without Config.Telemetry.
+func (s *System) WriteTrace(w io.Writer) error {
+	tel := s.m.Telemetry()
+	if tel == nil {
+		return fmt.Errorf("dtsvliw: telemetry not enabled (set Config.Telemetry)")
+	}
+	return tel.WriteChromeTrace(w)
+}
 
 // OnBlockSaved registers an observer that receives every block the
 // Scheduler Unit saves to the VLIW Cache, rendered as a slot grid in the

@@ -11,6 +11,7 @@ import (
 	"dtsvliw/internal/isa"
 	"dtsvliw/internal/mem"
 	"dtsvliw/internal/primary"
+	"dtsvliw/internal/telemetry"
 	"dtsvliw/internal/vcache"
 	"dtsvliw/internal/vliw"
 )
@@ -76,6 +77,13 @@ type Config struct {
 	LoadLatency  int
 	FPLatency    int
 	FPDivLatency int
+
+	// Telemetry, when non-nil, attaches a cycle-stamped telemetry
+	// collector to the machine (DESIGN.md §12): event tracing, per-block
+	// profiles and distribution histograms, readable through
+	// Machine.Telemetry after the run. Nil keeps every hook on its
+	// zero-overhead disabled path.
+	Telemetry *telemetry.Config
 
 	// TestMode runs the sequential test machine in lockstep and compares
 	// architectural state at every synchronisation point (paper §4).

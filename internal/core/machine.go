@@ -8,6 +8,7 @@ import (
 	"dtsvliw/internal/mem"
 	"dtsvliw/internal/primary"
 	"dtsvliw/internal/sched"
+	"dtsvliw/internal/telemetry"
 	"dtsvliw/internal/vcache"
 	"dtsvliw/internal/vliw"
 )
@@ -54,6 +55,12 @@ type Machine struct {
 	// across stepPrimary calls so footprint computation never allocates.
 	effReads  []isa.Loc
 	effWrites []isa.Loc
+
+	// tel is the telemetry collector (nil when disabled; every hook site
+	// is nil-guarded). telCols is a scratch buffer for per-column slot
+	// occupancy at block-save time.
+	tel     *telemetry.Collector
+	telCols []uint32
 
 	// BlockHook, when set, observes every block saved to the VLIW Cache
 	// (used by the -dumpblocks tool and by tests).
@@ -114,6 +121,14 @@ func NewMachine(cfg Config, st *arch.State) (*Machine, error) {
 		pipe: primary.New(pcfg),
 	}
 	m.eng.SetScheme(cfg.StoreScheme)
+	if cfg.Telemetry != nil {
+		m.tel = telemetry.NewCollector(*cfg.Telemetry, &m.Stats.Cycles)
+		m.sch.SetTelemetry(m.tel)
+		m.vc.SetTelemetry(m.tel)
+		m.eng.SetTelemetry(m.tel)
+		m.ic.MissHook = func(addr uint32) { m.tel.CacheMiss(telemetry.EvICacheMiss, addr) }
+		m.dc.MissHook = func(addr uint32) { m.tel.CacheMiss(telemetry.EvDCacheMiss, addr) }
+	}
 	if cfg.ExitPrediction {
 		m.predictor = make(map[uint32]uint32)
 	}
@@ -134,6 +149,10 @@ func (m *Machine) Scheduler() *sched.Scheduler { return m.sch }
 // Mode returns the engine currently executing.
 func (m *Machine) Mode() Mode { return m.mode }
 
+// Telemetry returns the machine's telemetry collector (nil when the
+// configuration did not enable one).
+func (m *Machine) Telemetry() *telemetry.Collector { return m.tel }
+
 // MismatchError reports a lockstep test-machine divergence: the DTSVLIW
 // produced architectural state different from sequential execution.
 type MismatchError struct {
@@ -149,6 +168,11 @@ func (m *Machine) addCycles(n int, vliwMode bool) {
 	m.Stats.Cycles += uint64(n)
 	if vliwMode {
 		m.Stats.VLIWCycles += uint64(n)
+		if m.tel != nil {
+			// Attribute every VLIW-mode cycle to the current block profile
+			// so the per-block totals reconcile with VLIWCycles exactly.
+			m.tel.AddVLIWCycles(uint64(n))
+		}
 	} else {
 		m.Stats.PrimaryCycles += uint64(n)
 	}
@@ -179,6 +203,25 @@ func (m *Machine) saveBlock(b *sched.Block) {
 	}
 	m.vc.Save(b, low)
 	m.Stats.BlocksSaved++
+	if m.tel != nil {
+		// Static slot-utilisation breakdown: occupied slots per column of
+		// the saved grid.
+		if cap(m.telCols) < m.cfg.Width {
+			m.telCols = make([]uint32, m.cfg.Width)
+		}
+		cols := m.telCols[:m.cfg.Width]
+		for i := range cols {
+			cols[i] = 0
+		}
+		for _, li := range b.LIs {
+			for j, s := range li {
+				if s != nil {
+					cols[j]++
+				}
+			}
+		}
+		m.tel.BlockSaved(b.Tag, b.NumLIs, b.ValidOps, cols)
+	}
 	if m.BlockHook != nil {
 		m.BlockHook(b)
 	}
@@ -187,6 +230,13 @@ func (m *Machine) saveBlock(b *sched.Block) {
 // beginBlock enters a VLIW Cache entry on the engine, preferring the
 // lowered form when the line carries one.
 func (m *Machine) beginBlock(ent vcache.Entry) {
+	if m.tel != nil {
+		if ent.Prof != nil {
+			m.tel.EnterBlockProf(ent.Prof, ent.Blk.NumLIs)
+		} else {
+			m.tel.EnterBlock(ent.Blk.Tag, ent.Blk.NumLIs)
+		}
+	}
 	if ent.Low != nil {
 		m.eng.BeginLowered(ent.Low)
 	} else {
@@ -225,6 +275,9 @@ func (m *Machine) Run() error {
 }
 
 func (m *Machine) harvestStats() {
+	if m.tel != nil {
+		m.tel.Finish()
+	}
 	m.Stats.Sched = m.sch.Stats
 	m.Stats.Engine = m.eng.Stats
 	m.Stats.ICacheAccesses, m.Stats.ICacheMisses = m.ic.Accesses, m.ic.Misses
@@ -247,10 +300,15 @@ func (m *Machine) stepPrimary() error {
 			m.pipe.FlushState()
 			m.Stats.Switches++
 			m.Stats.SwitchCycles += uint64(m.cfg.SwitchToVLIW)
-			m.addCycles(m.cfg.SwitchToVLIW, true)
 			m.mode = ModeVLIW
 			m.vpc = sched.LongAddr{Addr: pc, Line: 0}
+			if m.tel != nil {
+				m.tel.HandoverToVLIW(pc)
+			}
+			// beginBlock before the switch-cycle charge, so telemetry
+			// attributes every VLIW-mode cycle to a current block.
 			m.beginBlock(ent)
+			m.addCycles(m.cfg.SwitchToVLIW, true)
 			return nil
 		}
 	}
@@ -329,6 +387,10 @@ func (m *Machine) stepVLIW() error {
 	if res.Exception {
 		// Recovery already restored the block-entry checkpoint; resume on
 		// the Primary Processor at the block's first instruction.
+		if m.tel != nil {
+			m.tel.Exception(blk.Tag, res.Aliasing)
+			m.tel.ExitBlock(blk.Tag, telemetry.ExitException, blk.Tag, 0)
+		}
 		if res.Aliasing {
 			m.Stats.AliasingExceptions++
 			m.vc.Invalidate(blk.Tag, blk.EntryCWP)
@@ -364,13 +426,20 @@ func (m *Machine) stepVLIW() error {
 		// prediction (paper §5), a correct last-target prediction hides
 		// the bubble.
 		m.seq += res.ExitAdvance
+		if m.tel != nil {
+			m.tel.ExitBlock(blk.Tag, telemetry.ExitTrace, res.NextPC, res.ExitAdvance)
+		}
 		if m.predictor != nil {
-			if m.predictor[res.ExitBranch] == res.NextPC {
+			hit := m.predictor[res.ExitBranch] == res.NextPC
+			if hit {
 				m.Stats.ExitPredHits++
 			} else {
 				m.predictor[res.ExitBranch] = res.NextPC
 				m.Stats.ExitPredMisses++
 				cycles++
+			}
+			if m.tel != nil {
+				m.tel.ExitPrediction(hit, res.ExitBranch, res.NextPC)
 			}
 		} else {
 			cycles++
@@ -394,6 +463,9 @@ func (m *Machine) stepVLIW() error {
 		advance := blk.EndSeq - blk.FirstSeq
 		m.seq += advance
 		next := blk.NBA.Addr
+		if m.tel != nil {
+			m.tel.ExitBlock(blk.Tag, telemetry.ExitFallthru, next, advance)
+		}
 		cycles += m.eng.FlushPending(m.vpc.Line)
 		if err := m.endBlockDrain(); err != nil {
 			return err
@@ -438,6 +510,9 @@ func (m *Machine) switchToPrimary(pc uint32, cycles *int) {
 	m.Stats.Switches++
 	m.Stats.SwitchCycles += uint64(m.cfg.SwitchToPrimary)
 	*cycles += m.cfg.SwitchToPrimary
+	if m.tel != nil {
+		m.tel.HandoverToPrimary(pc)
+	}
 }
 
 // syncRef advances the lockstep test machine by n sequential instructions

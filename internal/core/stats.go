@@ -52,7 +52,36 @@ func (s *Stats) VLIWCycleFraction() float64 {
 }
 
 // SlotUtilisation returns the fraction of block slots holding valid
-// instructions (paper reports ~33% on average).
-func (s *Stats) SlotUtilisation(width, height int) float64 {
-	return s.Sched.SlotUtilisation(width, height)
+// instructions (paper reports ~33% on average). The geometry comes from
+// the scheduler's own stats, recorded at construction.
+func (s *Stats) SlotUtilisation() float64 {
+	return s.Sched.SlotUtilisation()
+}
+
+// ExitPredAccuracy returns the next-long-instruction predictor's hit
+// rate (0 when prediction is disabled or never exercised).
+func (s *Stats) ExitPredAccuracy() float64 {
+	total := s.ExitPredHits + s.ExitPredMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ExitPredHits) / float64(total)
+}
+
+// VCacheHitRate returns the Fetch Unit's VLIW Cache hit rate.
+func (s *Stats) VCacheHitRate() float64 {
+	total := s.VCacheHits + s.VCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.VCacheHits) / float64(total)
+}
+
+// SwitchRate returns engine handovers (both directions) per thousand
+// sequential instructions.
+func (s *Stats) SwitchRate() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Switches) / float64(s.Retired)
 }

@@ -84,6 +84,13 @@ var benchFeedSeeds = []int64{1, 2, 3}
 
 const benchFeedInstrs = 40_000
 
+// benchMachineReps runs each machine row this many times and keeps the
+// fastest. A full workload run measures ~50ms, short enough that one
+// scheduler preemption skews a single-shot number by tens of percent;
+// min-of-N is the standard noise-robust estimator (the simulation is
+// deterministic, so the fastest run is the least-disturbed one).
+const benchMachineReps = 3
+
 // BenchSched measures the benchmark matrix and returns the report.
 // Measurements are intentionally serial (Options.Workers is ignored):
 // parallel runs would contend for cache and allocator and corrupt the
@@ -99,13 +106,21 @@ func BenchSched(o Options) (*BenchReport, error) {
 		for _, mc := range benchMachineConfigs() {
 			mc.cfg.InterpretedEngine = o.InterpretedEngine
 			var m *core.Machine
-			elapsed, allocs, bytes, err := measure(func() error {
-				var err error
-				m, err = RunOne(w, mc.cfg, o)
-				return err
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench %s/%s: %w", w.Name, mc.label, err)
+			var elapsed time.Duration
+			var allocs, bytes uint64
+			for rep := 0; rep < benchMachineReps; rep++ {
+				var mr *core.Machine
+				e, a, b, err := measure(func() error {
+					var err error
+					mr, err = RunOne(w, mc.cfg, o)
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench %s/%s: %w", w.Name, mc.label, err)
+				}
+				if rep == 0 || e < elapsed {
+					elapsed, allocs, bytes, m = e, a, b, mr
+				}
 			}
 			n := m.Stats.Retired
 			if n == 0 {
@@ -135,6 +150,57 @@ func BenchSched(o Options) (*BenchReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// BenchTelemetryOverhead measures every machine row twice — telemetry
+// off and on — and returns one delta per row (off as "old", on as
+// "new"), for the ≤10% enabled-overhead gate. The off/on reps are
+// interleaved pair by pair on the same runner, so slow host drift
+// (thermal throttling, a noisy neighbour arriving mid-measurement)
+// hits both sides near-equally; a sequential off-then-on comparison
+// cannot guarantee that. Each side keeps its fastest rep, as in
+// BenchSched.
+func BenchTelemetryOverhead(o Options) ([]BenchDelta, error) {
+	var out []BenchDelta
+	for _, w := range workloads.All() {
+		for _, mc := range benchMachineConfigs() {
+			mc.cfg.InterpretedEngine = o.InterpretedEngine
+			var ns, al [2]float64 // index 0 = telemetry off, 1 = on
+			for rep := 0; rep < benchMachineReps; rep++ {
+				for side, tel := range []bool{false, true} {
+					oo := o
+					oo.Telemetry = tel
+					var m *core.Machine
+					e, a, _, err := measure(func() error {
+						var err error
+						m, err = RunOne(w, mc.cfg, oo)
+						return err
+					})
+					if err != nil {
+						return nil, fmt.Errorf("bench overhead %s/%s: %w", w.Name, mc.label, err)
+					}
+					n := m.Stats.Retired
+					if n == 0 {
+						return nil, fmt.Errorf("bench overhead %s/%s: no instructions retired", w.Name, mc.label)
+					}
+					if v := float64(e.Nanoseconds()) / float64(n); rep == 0 || v < ns[side] {
+						ns[side] = v
+					}
+					if v := float64(a) / float64(n); rep == 0 || v < al[side] {
+						al[side] = v
+					}
+				}
+			}
+			out = append(out, BenchDelta{
+				Kind: "machine", Name: w.Name, Config: mc.label,
+				OldNs: ns[0], NewNs: ns[1], OldAllocs: al[0], NewAllocs: al[1],
+				NsPct: pct(ns[0], ns[1]), AllocsPct: pct(al[0], al[1]),
+			})
+			o.note("bench overhead %s/%s: %.0f -> %.0f ns/instr (%+.1f%%)",
+				w.Name, mc.label, ns[0], ns[1], pct(ns[0], ns[1]))
+		}
+	}
+	return out, nil
 }
 
 // feedConfig is the scheduler geometry of the sched-feed rows: the

@@ -14,6 +14,7 @@ import (
 	"dtsvliw/internal/isa"
 	"dtsvliw/internal/mem"
 	"dtsvliw/internal/stats"
+	"dtsvliw/internal/telemetry"
 	"dtsvliw/internal/vliw"
 	"dtsvliw/internal/workloads"
 )
@@ -35,6 +36,9 @@ type Options struct {
 	// machine rows, giving the on-runner baseline the perf gate compares
 	// the lowered engine against (scripts/bench.sh, CI bench-smoke).
 	InterpretedEngine bool
+	// Telemetry attaches a telemetry collector to every machine run (the
+	// profile runner and the -bench-telemetry overhead gate use this).
+	Telemetry bool
 	// Progress, if non-nil, receives one line per completed run, in
 	// deterministic job order.
 	Progress func(string)
@@ -50,6 +54,9 @@ func (o Options) note(format string, args ...interface{}) {
 func RunOne(w *workloads.Workload, cfg core.Config, o Options) (*core.Machine, error) {
 	cfg.TestMode = o.TestMode
 	cfg.MaxInstrs = o.MaxInstrs
+	if o.Telemetry {
+		cfg.Telemetry = &telemetry.Config{}
+	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 1 << 62
 	}
@@ -262,7 +269,10 @@ func Table3(o Options) (*stats.Table, error) {
 		Title: "Table 3: performance and resource consumption of the feasible DTSVLIW",
 		Columns: []string{"benchmark", "IPC", "int-ren", "fp-ren", "flag-ren",
 			"mem-ren", "load-list", "store-list", "ckpt-list", "aliasing",
-			"%VLIW-cycles", "slot-util"},
+			"%VLIW-cycles", "slot-util", "vc-hit%", "sw/ki"},
+		Notes: []string{
+			"vc-hit%: Fetch Unit VLIW Cache hit rate; sw/ki: engine handovers per 1000 instructions",
+		},
 	}
 	var sumIPC, sumVLIW float64
 	n := 0
@@ -284,14 +294,16 @@ func Table3(o Options) (*stats.Table, error) {
 			s.Engine.MaxLoadList, s.Engine.MaxStoreList, s.Engine.MaxCkptList,
 			s.AliasingExceptions,
 			fmt.Sprintf("%.2f%%", 100*s.VLIWCycleFraction()),
-			fmt.Sprintf("%.1f%%", 100*s.SlotUtilisation(10, 8)))
+			fmt.Sprintf("%.1f%%", 100*s.SlotUtilisation()),
+			fmt.Sprintf("%.1f%%", 100*s.VCacheHitRate()),
+			fmt.Sprintf("%.2f", s.SwitchRate()))
 		sumIPC += s.IPC()
 		sumVLIW += s.VLIWCycleFraction()
 		n++
 		o.note("table3 %s done", w.Name)
 	}
 	t.AddRow("Average", sumIPC/float64(n), "", "", "", "", "", "", "", "",
-		fmt.Sprintf("%.2f%%", 100*sumVLIW/float64(n)), "")
+		fmt.Sprintf("%.2f%%", 100*sumVLIW/float64(n)), "", "", "")
 	return t, nil
 }
 
@@ -396,20 +408,21 @@ func Table1(o Options) (*stats.Table, error) {
 
 // Runner maps experiment names to runners.
 var Runner = map[string]func(Options) (*stats.Table, error){
-	"table1": Table1,
-	"table2": Table2,
-	"table3": Table3,
-	"fig5":   Fig5,
-	"fig6":   Fig6,
-	"fig7":   Fig7,
-	"fig8":   Fig8,
-	"fig9":   Fig9,
-	"ext":    Extensions,
+	"table1":  Table1,
+	"table2":  Table2,
+	"table3":  Table3,
+	"fig5":    Fig5,
+	"fig6":    Fig6,
+	"fig7":    Fig7,
+	"fig8":    Fig8,
+	"fig9":    Fig9,
+	"ext":     Extensions,
+	"profile": Profile,
 }
 
 // Order lists experiments in the paper's order, ending with this
-// reproduction's extension study.
-var Order = []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "ext"}
+// reproduction's extension study and the telemetry profile summary.
+var Order = []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "table3", "fig9", "ext", "profile"}
 
 // Extensions measures the paper's §5 deferred designs (implemented in this
 // reproduction) against the baseline ideal 8x8 machine: next-long-
@@ -419,9 +432,10 @@ func Extensions(o Options) (*stats.Table, error) {
 	t := &stats.Table{
 		Title: "Extensions (paper §5): IPC on the ideal 8x8 machine",
 		Columns: []string{"benchmark", "baseline", "+exit-pred", "store-list",
-			"loads=2cy", "loads=4cy"},
+			"loads=2cy", "loads=4cy", "pred-acc", "pred-hits", "pred-misses"},
 		Notes: []string{
 			"exit-pred: last-target next-long-instruction predictor",
+			"pred-acc/hits/misses: the predictor's outcomes in the +exit-pred run",
 			"store-list: §3.11 alternative exception handling (timing-neutral without aliasing)",
 			"loads=Ncy: multicycle extension (companion HPCN'99 study)",
 		},
@@ -453,6 +467,12 @@ func Extensions(o Options) (*stats.Table, error) {
 			row = append(row, m.Stats.IPC())
 			o.note("ext %s variant %d: IPC %.2f", w.Name, i, m.Stats.IPC())
 		}
+		// Exit-predictor outcomes from the +exit-pred run (variant 1),
+		// previously measured but dropped from the table.
+		ps := &ms[wi*len(variants)+1].Stats
+		row = append(row,
+			fmt.Sprintf("%.1f%%", 100*ps.ExitPredAccuracy()),
+			ps.ExitPredHits, ps.ExitPredMisses)
 		t.AddRow(row...)
 	}
 	return t, nil

@@ -42,6 +42,10 @@ type Cache struct {
 
 	Accesses uint64
 	Misses   uint64
+
+	// MissHook, when set, observes every miss address (the telemetry
+	// layer attaches it; nil costs nothing on the hit path).
+	MissHook func(addr uint32)
 }
 
 // NewCache builds a cache from cfg. A Perfect cfg yields a cache whose
@@ -97,6 +101,9 @@ func (c *Cache) Access(addr uint32) int {
 		}
 	}
 	c.Misses++
+	if c.MissHook != nil {
+		c.MissHook(addr)
+	}
 	c.tags[victim] = tag
 	c.valid[victim] = true
 	c.lru[victim] = c.clock

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"dtsvliw/internal/isa"
+	"dtsvliw/internal/telemetry"
 )
 
 // element is one scheduling-list entry: one long instruction under
@@ -61,6 +62,7 @@ type Scheduler struct {
 	blockTag   uint32
 	blockCWP   uint8
 	blockSeq   uint64
+	blockIns   uint64 // instructions inserted into the current block
 	haveTag    bool
 	renUsed    [NumRenameClasses]uint16
 	order      uint16
@@ -117,6 +119,8 @@ type Scheduler struct {
 	scratchPairsB []RenamePair // split Copies
 	scratchSig    isa.Sig      // antiConflicts: exclusion signature
 
+	tel *telemetry.Collector // nil when telemetry is disabled
+
 	Stats Stats
 }
 
@@ -141,8 +145,17 @@ func New(cfg Config) (*Scheduler, error) {
 			}
 		}
 	}
+	// The stats carry the block geometry so derived metrics (slot
+	// utilisation) never depend on callers re-supplying dimensions.
+	u.Stats.Width = cfg.Width
+	u.Stats.Height = cfg.Height
 	return u, nil
 }
+
+// SetTelemetry attaches a telemetry collector (nil detaches). Hook sites
+// are nil-guarded and outside the dependency-check hot paths, keeping
+// the zero-alloc guarantee when detached.
+func (u *Scheduler) SetTelemetry(t *telemetry.Collector) { u.tel = t }
 
 // Config returns the scheduler's configuration.
 func (u *Scheduler) Config() Config { return u.cfg }
@@ -830,6 +843,9 @@ func (u *Scheduler) split(cand *Slot, e *element, slotIdx int, conflicted []isa.
 	}
 	u.splits++
 	u.Stats.Splits++
+	if u.tel != nil {
+		u.tel.Split(cand.Addr)
+	}
 }
 
 // Insert feeds one completed instruction to the Scheduler Unit. If the
@@ -893,6 +909,7 @@ func (u *Scheduler) Insert(c Completed) (*Block, error) {
 	tailIdx := len(u.elems) - 1
 	slotIdx := u.place(cand, u.elems[tailIdx])
 	u.Stats.Inserted++
+	u.blockIns++
 
 	u.moveUp(cand, tailIdx, slotIdx)
 	return flushed, nil
@@ -1018,6 +1035,7 @@ func (u *Scheduler) startBlock(c Completed) {
 	u.blockTag = c.Addr
 	u.blockCWP = c.CWP
 	u.blockSeq = c.Seq
+	u.blockIns = 0
 	u.haveTag = true
 	u.order = 0
 	u.splits = 0
@@ -1076,6 +1094,9 @@ func (u *Scheduler) flush(nbaAddr uint32, endSeq uint64) *Block {
 	u.Stats.BlocksFlushed++
 	u.Stats.FlushedLIs += uint64(b.NumLIs)
 	u.Stats.FlushedSlots += uint64(b.ValidOps)
+	if u.tel != nil {
+		u.tel.BlockFlushed(b.NumLIs, u.blockIns)
+	}
 	return b
 }
 

@@ -390,8 +390,12 @@ func (c Config) slotAccepts(i int, cl isa.FUClass) bool {
 	return c.FUs[i] == isa.FUAny || c.FUs[i] == cl
 }
 
-// Stats accumulates Scheduler Unit statistics across a run.
+// Stats accumulates Scheduler Unit statistics across a run. Width and
+// Height record the scheduler's block geometry at construction, so
+// derived metrics cannot be computed against mismatched dimensions.
 type Stats struct {
+	Width, Height int // block geometry (set by New)
+
 	Inserted       uint64 // instructions placed in the scheduling list
 	Ignored        uint64 // nops and unconditional branches dropped
 	Splits         uint64
@@ -405,10 +409,11 @@ type Stats struct {
 }
 
 // SlotUtilisation returns valid slots over total slot capacity of flushed
-// blocks (paper Table 3 reports ~33%).
-func (st *Stats) SlotUtilisation(width, height int) float64 {
-	if st.BlocksFlushed == 0 {
+// blocks (paper Table 3 reports ~33%), using the geometry recorded at
+// scheduler construction.
+func (st *Stats) SlotUtilisation() float64 {
+	if st.BlocksFlushed == 0 || st.Width*st.Height == 0 {
 		return 0
 	}
-	return float64(st.FlushedSlots) / float64(st.BlocksFlushed*uint64(width*height))
+	return float64(st.FlushedSlots) / float64(st.BlocksFlushed*uint64(st.Width*st.Height))
 }

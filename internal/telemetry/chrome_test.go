@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeEvent mirrors the subset of the trace-event schema the exporter
+// emits, for validation.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    uint64         `json:"ts"`
+	Dur   *uint64        `json:"dur"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args"`
+}
+
+// TestWriteChromeTrace exports a synthetic run and validates the JSON
+// against the trace-event format: metadata threads, occupancy slices
+// covering the handover timeline, and instant events for the rest.
+func TestWriteChromeTrace(t *testing.T) {
+	var cycle uint64
+	c := NewCollector(Config{RingSize: 256}, &cycle)
+
+	cycle = 10
+	c.HandoverToVLIW(0x1000)
+	c.EnterBlock(0x1000, 4)
+	cycle = 25
+	c.ExitBlock(0x1000, ExitTrace, 0x2000, 7)
+	c.EnterBlock(0x2000, 2)
+	cycle = 30
+	c.ExitBlock(0x2000, ExitFallthru, 0x3000, 5)
+	c.HandoverToPrimary(0x3000)
+	cycle = 40
+	c.CacheMiss(EvDCacheMiss, 0xbeef)
+	c.Finish()
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var tf struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+
+	var sliceNames []string
+	var sawMeta, sawPrimarySlice, sawVLIWSlice, sawMiss bool
+	for i, e := range tf.TraceEvents {
+		if e.Name == "" {
+			t.Errorf("event %d: empty name", i)
+		}
+		switch e.Ph {
+		case "M":
+			sawMeta = true
+		case "X":
+			if e.Dur == nil {
+				t.Errorf("event %d (%s): X without dur", i, e.Name)
+				continue
+			}
+			sliceNames = append(sliceNames, e.Name)
+			switch e.Name {
+			case "primary":
+				sawPrimarySlice = true
+			case "vliw":
+				sawVLIWSlice = true
+				if e.Ts != 10 || *e.Dur != 20 {
+					t.Errorf("vliw slice ts=%d dur=%d, want ts=10 dur=20", e.Ts, *e.Dur)
+				}
+			}
+		case "i":
+			if e.Scope != "t" {
+				t.Errorf("event %d (%s): instant scope %q, want t", i, e.Name, e.Scope)
+			}
+			if e.Name == "dcache-miss" {
+				sawMiss = true
+				if e.Args["addr"] != "0xbeef" {
+					t.Errorf("dcache-miss args = %v", e.Args)
+				}
+			}
+		default:
+			t.Errorf("event %d (%s): unexpected phase %q", i, e.Name, e.Ph)
+		}
+	}
+	if !sawMeta {
+		t.Error("no metadata (thread-name) events")
+	}
+	if !sawVLIWSlice || !sawPrimarySlice {
+		t.Errorf("occupancy slices missing (slices: %v)", sliceNames)
+	}
+	if !sawMiss {
+		t.Error("dcache-miss instant event missing")
+	}
+
+	// Block slices: one per EnterBlock with a nonzero span.
+	var blockSlices int
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "X" && e.Tid == tidBlocks {
+			blockSlices++
+		}
+	}
+	if blockSlices != 2 {
+		t.Errorf("%d block slices, want 2", blockSlices)
+	}
+}

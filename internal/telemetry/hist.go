@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// histBuckets covers values 0, 1, 2–3, 4–7, … 2^62–2^63-1 and beyond.
+const histBuckets = 65
+
+// Hist is a power-of-two histogram: bucket 0 counts the value 0, bucket
+// i (i ≥ 1) counts values in [2^(i-1), 2^i). The zero value is ready to
+// use and adding is a shift plus an increment, so per-event cost is
+// negligible.
+type Hist struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// Add records one sample.
+func (h *Hist) Add(v uint64) {
+	h.Buckets[bits.Len64(v)]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the sample mean (0 for an empty histogram).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// bucketLabel renders bucket i's value range.
+func bucketLabel(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	lo := uint64(1) << (i - 1)
+	hi := lo<<1 - 1
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// Render writes the histogram as an aligned ASCII table with a bar per
+// occupied bucket, scaled so the largest bucket spans barWidth cells.
+// Output is deterministic.
+func (h *Hist) Render(name string, barWidth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d mean=%.1f max=%d\n", name, h.Count, h.Mean(), h.Max)
+	if h.Count == 0 {
+		return b.String()
+	}
+	var peak uint64
+	lo, hi := -1, 0
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if c > peak {
+			peak = c
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+	}
+	for i := lo; i <= hi; i++ {
+		c := h.Buckets[i]
+		bar := ""
+		if c > 0 && barWidth > 0 {
+			n := int(c * uint64(barWidth) / peak)
+			if n == 0 {
+				n = 1
+			}
+			bar = strings.Repeat("#", n)
+		}
+		fmt.Fprintf(&b, "  %14s %10d %s\n", bucketLabel(i), c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import "sort"
+
+// BlockProf accumulates per-block statistics across a run, keyed by the
+// block's VLIW Cache tag (its entry address).
+type BlockProf struct {
+	Tag uint32
+
+	// Dynamic behaviour.
+	Entries      uint64 // times the VLIW Engine entered this block
+	Cycles       uint64 // VLIW-mode cycles attributed to this block
+	Instrs       uint64 // sequential instructions retired inside it
+	TraceExits   uint64 // exits caused by a deviating branch
+	LIsExecuted  uint64 // long instructions executed
+	OpsCommitted uint64 // slot operations committed
+	OpsAnnulled  uint64 // slot operations annulled (flag false)
+	Saves        uint64 // times the Scheduler Unit saved this tag
+	Evictions    uint64 // times the VLIW Cache replaced it
+
+	// Static geometry from the most recent save.
+	NumLIs   int      // long instructions in the block
+	ValidOps int      // occupied slots
+	ColOcc   []uint32 // occupied slots per slot column
+
+	// Exit-PC histogram: where trace exits resumed sequential execution.
+	// Most blocks have a handful of distinct exit targets, so the hot
+	// path is a move-to-front slice scan; the rare exit-diverse block
+	// (a gcc block reaches 451 distinct targets) spills to a map once
+	// the slice passes exitPCSpill, keeping the per-exit cost bounded.
+	exitPCs []ExitPC
+	exitMap map[uint32]uint64
+}
+
+// exitPCSpill is the distinct-target count past which the exit-PC
+// histogram switches from the scanned slice to a map.
+const exitPCSpill = 16
+
+func (p *BlockProf) exitPC(pc uint32) {
+	if p.exitMap != nil {
+		p.exitMap[pc]++
+		return
+	}
+	for i := range p.exitPCs {
+		if p.exitPCs[i].PC == pc {
+			p.exitPCs[i].Count++
+			if i > 0 {
+				p.exitPCs[i], p.exitPCs[i-1] = p.exitPCs[i-1], p.exitPCs[i]
+			}
+			return
+		}
+	}
+	if len(p.exitPCs) >= exitPCSpill {
+		p.exitMap = make(map[uint32]uint64, 2*exitPCSpill)
+		for _, e := range p.exitPCs {
+			p.exitMap[e.PC] = e.Count
+		}
+		p.exitPCs = nil
+		p.exitMap[pc] = 1
+		return
+	}
+	p.exitPCs = append(p.exitPCs, ExitPC{PC: pc, Count: 1})
+}
+
+// ExitPC is one exit-PC histogram row.
+type ExitPC struct {
+	PC    uint32
+	Count uint64
+}
+
+// ExitPCs returns the exit-PC histogram sorted by descending count, ties
+// by ascending PC (deterministic).
+func (p *BlockProf) ExitPCs() []ExitPC {
+	var out []ExitPC
+	if p.exitMap != nil {
+		out = make([]ExitPC, 0, len(p.exitMap))
+		for pc, n := range p.exitMap {
+			out = append(out, ExitPC{PC: pc, Count: n})
+		}
+	} else {
+		out = make([]ExitPC, len(p.exitPCs))
+		copy(out, p.exitPCs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// StaticUtilisation returns occupied slots over total slots in the saved
+// grid (0 when unknown).
+func (p *BlockProf) StaticUtilisation() float64 {
+	if p.NumLIs == 0 || len(p.ColOcc) == 0 {
+		return 0
+	}
+	return float64(p.ValidOps) / float64(p.NumLIs*len(p.ColOcc))
+}
+
+// profile returns (creating on first use) the profile for tag.
+func (c *Collector) profile(tag uint32) *BlockProf {
+	if p, ok := c.profiles[tag]; ok {
+		return p
+	}
+	p := &BlockProf{Tag: tag}
+	c.profiles[tag] = p
+	return p
+}
+
+// Profiles returns every block profile sorted by descending cycles, ties
+// by ascending tag (deterministic).
+func (c *Collector) Profiles() []*BlockProf {
+	out := make([]*BlockProf, 0, len(c.profiles))
+	for _, p := range c.profiles {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+// TotalBlockCycles sums the cycles attributed to every block profile.
+// TotalBlockCycles()+OrphanCycles() reconciles exactly with the
+// machine's Stats.VLIWCycles.
+func (c *Collector) TotalBlockCycles() uint64 {
+	var sum uint64
+	for _, p := range c.profiles {
+		sum += p.Cycles
+	}
+	return sum
+}

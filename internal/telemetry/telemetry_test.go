@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRingWraparound fills a small ring past capacity and checks that
+// the retained window is the newest events, oldest first, and the
+// dropped count matches.
+func TestRingWraparound(t *testing.T) {
+	var cycle uint64
+	c := NewCollector(Config{RingSize: 8}, &cycle)
+	if c.RingSize() != 8 {
+		t.Fatalf("ring size = %d, want 8", c.RingSize())
+	}
+	const total = 21
+	for i := 0; i < total; i++ {
+		cycle = uint64(100 + i)
+		c.record(EvSplit, uint32(i), 0, 0)
+	}
+	if got := c.Recorded(); got != total {
+		t.Errorf("Recorded() = %d, want %d", got, total)
+	}
+	if got := c.Dropped(); got != total-8 {
+		t.Errorf("Dropped() = %d, want %d", got, total-8)
+	}
+	evs := c.Events()
+	if len(evs) != 8 {
+		t.Fatalf("len(Events()) = %d, want 8", len(evs))
+	}
+	for i, e := range evs {
+		wantAddr := uint32(total - 8 + i)
+		if e.Addr != wantAddr {
+			t.Errorf("event %d: Addr = %d, want %d (oldest-first order)", i, e.Addr, wantAddr)
+		}
+		if e.Cycle != uint64(100+total-8+i) {
+			t.Errorf("event %d: Cycle = %d, want %d", i, e.Cycle, 100+total-8+i)
+		}
+	}
+}
+
+// TestRingNoWrap checks the partial-fill path of Events.
+func TestRingNoWrap(t *testing.T) {
+	var cycle uint64
+	c := NewCollector(Config{RingSize: 16}, &cycle)
+	for i := 0; i < 5; i++ {
+		c.record(EvSplit, uint32(i), 0, 0)
+	}
+	if got := c.Dropped(); got != 0 {
+		t.Errorf("Dropped() = %d, want 0", got)
+	}
+	evs := c.Events()
+	if len(evs) != 5 {
+		t.Fatalf("len(Events()) = %d, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Addr != uint32(i) {
+			t.Errorf("event %d: Addr = %d, want %d", i, e.Addr, i)
+		}
+	}
+}
+
+// TestRingSizeRounding checks non-power-of-two sizes round up and zero
+// takes the default.
+func TestRingSizeRounding(t *testing.T) {
+	var cycle uint64
+	if got := NewCollector(Config{RingSize: 100}, &cycle).RingSize(); got != 128 {
+		t.Errorf("RingSize(100) rounds to %d, want 128", got)
+	}
+	if got := NewCollector(Config{}, &cycle).RingSize(); got != DefaultRingSize {
+		t.Errorf("RingSize(0) = %d, want %d", got, DefaultRingSize)
+	}
+}
+
+// TestBlockCycleAttribution drives the collector through two blocks and
+// checks the per-block cycle ledger stays exact.
+func TestBlockCycleAttribution(t *testing.T) {
+	var cycle uint64
+	c := NewCollector(Config{RingSize: 64}, &cycle)
+	c.HandoverToVLIW(0x1000)
+	c.EnterBlock(0x1000, 4)
+	c.AddVLIWCycles(10)
+	c.ExitBlock(0x1000, ExitTrace, 0x2000, 7)
+	c.EnterBlock(0x2000, 2)
+	c.AddVLIWCycles(3)
+	c.ExitBlock(0x2000, ExitFallthru, 0x3000, 5)
+	cycle = 13
+	c.HandoverToPrimary(0x3000)
+	c.Finish()
+
+	if got := c.TotalBlockCycles(); got != 13 {
+		t.Errorf("TotalBlockCycles() = %d, want 13", got)
+	}
+	if got := c.OrphanCycles(); got != 0 {
+		t.Errorf("OrphanCycles() = %d, want 0", got)
+	}
+	profs := c.Profiles()
+	if len(profs) != 2 {
+		t.Fatalf("%d profiles, want 2", len(profs))
+	}
+	if profs[0].Tag != 0x1000 || profs[0].Cycles != 10 || profs[0].Instrs != 7 {
+		t.Errorf("hot profile = %+v, want tag 0x1000 cycles 10 instrs 7", profs[0])
+	}
+	if profs[0].TraceExits != 1 {
+		t.Errorf("TraceExits = %d, want 1", profs[0].TraceExits)
+	}
+	exits := profs[0].ExitPCs()
+	if len(exits) != 1 || exits[0].PC != 0x2000 || exits[0].Count != 1 {
+		t.Errorf("ExitPCs() = %+v, want [{0x2000 1}]", exits)
+	}
+	// A cycle recorded with no current block must be counted, not lost.
+	c2 := NewCollector(Config{RingSize: 8}, &cycle)
+	c2.AddVLIWCycles(4)
+	if c2.OrphanCycles() != 4 {
+		t.Errorf("OrphanCycles() = %d, want 4", c2.OrphanCycles())
+	}
+}
+
+// TestHistBuckets checks power-of-two bucketing and the summary stats.
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 1, 2, 3, 4, 7, 8, 1024} {
+		h.Add(v)
+	}
+	if h.Count != 9 || h.Max != 1024 {
+		t.Errorf("Count/Max = %d/%d, want 9/1024", h.Count, h.Max)
+	}
+	wants := map[int]uint64{0: 1, 1: 2, 2: 2, 3: 2, 4: 1, 11: 1}
+	for b, want := range wants {
+		if h.Buckets[b] != want {
+			t.Errorf("bucket %d = %d, want %d", b, h.Buckets[b], want)
+		}
+	}
+	if got := h.Mean(); got < 116 || got > 117 {
+		t.Errorf("Mean() = %v, want ~116.7", got)
+	}
+	out := h.Render("test", 10)
+	if !strings.Contains(out, "1024-2047") {
+		t.Errorf("Render missing 1024-2047 bucket label:\n%s", out)
+	}
+}
+
+// TestReportsDeterministic renders the reports twice and requires
+// byte-identical output (map iteration must not leak in).
+func TestReportsDeterministic(t *testing.T) {
+	var cycle uint64
+	c := NewCollector(Config{RingSize: 64}, &cycle)
+	for i := 0; i < 6; i++ {
+		tag := uint32(0x1000 + 0x40*(i%3))
+		c.EnterBlock(tag, 4)
+		c.AddVLIWCycles(uint64(5 + i))
+		c.ExitBlock(tag, ExitTrace, uint32(0x2000+4*i), uint64(i))
+		c.BlockFlushed(4, uint64(3+i))
+	}
+	c.Finish()
+	a := c.ProfileReport(10) + c.HistogramReport() + c.Summary()
+	b := c.ProfileReport(10) + c.HistogramReport() + c.Summary()
+	if a != b {
+		t.Error("reports are not deterministic across calls")
+	}
+}

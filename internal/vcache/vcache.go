@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"dtsvliw/internal/sched"
+	"dtsvliw/internal/telemetry"
 	"dtsvliw/internal/vliw"
 )
 
@@ -49,7 +50,12 @@ type Cache struct {
 	Stores     uint64 // blocks saved
 	Replaced   uint64 // valid blocks evicted
 	Invalidats uint64
+
+	tel *telemetry.Collector // nil when telemetry is disabled
 }
+
+// SetTelemetry attaches a telemetry collector (nil detaches).
+func (c *Cache) SetTelemetry(t *telemetry.Collector) { c.tel = t }
 
 type line struct {
 	valid bool
@@ -62,10 +68,13 @@ type line struct {
 // Entry is one cache line's payload: the scheduled block and, when the
 // machine runs the lowered engine path, its decode-once lowered form
 // (the software analogue of the paper's decoded-instruction line, §3.4).
-// Low is nil when lowering was disabled or fell back.
+// Low is nil when lowering was disabled or fell back. Prof is the
+// block's telemetry profile, resolved once at save time so the
+// per-entry hook needs no map lookup; nil when telemetry is off.
 type Entry struct {
-	Blk *sched.Block
-	Low *vliw.LoweredBlock
+	Blk  *sched.Block
+	Low  *vliw.LoweredBlock
+	Prof *telemetry.BlockProf
 }
 
 // New builds a VLIW Cache.
@@ -104,6 +113,9 @@ func (c *Cache) Lookup(addr uint32, cwp uint8) (Entry, bool) {
 		}
 	}
 	c.Misses++
+	if c.tel != nil {
+		c.tel.CacheMiss(telemetry.EvVCacheMiss, addr)
+	}
 	return Entry{}, false
 }
 
@@ -141,9 +153,16 @@ func (c *Cache) Save(b *sched.Block, low *vliw.LoweredBlock) {
 	}
 	if c.lines[victim].valid && (c.lines[victim].tag != b.Tag || c.lines[victim].cwp != b.EntryCWP) {
 		c.Replaced++
+		if c.tel != nil {
+			c.tel.BlockEvicted(c.lines[victim].tag)
+		}
+	}
+	ent := Entry{Blk: b, Low: low}
+	if c.tel != nil {
+		ent.Prof = c.tel.Profile(b.Tag)
 	}
 	c.lines[victim] = line{valid: true, tag: b.Tag, cwp: b.EntryCWP,
-		ent: Entry{Blk: b, Low: low}, lru: c.clock}
+		ent: ent, lru: c.clock}
 }
 
 // Invalidate drops the block tagged (addr, cwp) (paper §3.11: aliasing
@@ -155,6 +174,9 @@ func (c *Cache) Invalidate(addr uint32, cwp uint8) {
 		if l.valid && l.tag == addr && l.cwp == cwp {
 			l.valid = false
 			c.Invalidats++
+			if c.tel != nil {
+				c.tel.BlockInvalidated(addr)
+			}
 		}
 	}
 }

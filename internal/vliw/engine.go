@@ -18,6 +18,7 @@ import (
 	"dtsvliw/internal/arch"
 	"dtsvliw/internal/isa"
 	"dtsvliw/internal/sched"
+	"dtsvliw/internal/telemetry"
 )
 
 // microStore is one buffered memory write held in a memory renaming
@@ -134,6 +135,7 @@ type Stats struct {
 type Engine struct {
 	st   *arch.State
 	nwin int
+	tel  *telemetry.Collector // nil when telemetry is disabled
 
 	block *sched.Block
 	lb    *LoweredBlock // non-nil while executing a lowered block
@@ -245,6 +247,10 @@ func (e *Engine) getRenBypassFlat(flat int32) renVal {
 func New(st *arch.State) *Engine {
 	return &Engine{st: st, nwin: st.NWin}
 }
+
+// SetTelemetry attaches a telemetry collector (nil detaches). The hook
+// sites are nil-guarded so a detached engine pays nothing.
+func (e *Engine) SetTelemetry(t *telemetry.Collector) { e.tel = t }
 
 // Block returns the block currently being executed.
 func (e *Engine) Block() *sched.Block { return e.block }

@@ -212,6 +212,9 @@ func (e *Engine) execLoweredLI(line int) Result {
 
 	e.Stats.OpsCommitted += uint64(committed)
 	e.Stats.OpsAnnulled += uint64(annulled)
+	if e.tel != nil {
+		e.tel.LIExecuted(committed, annulled)
+	}
 	res.Committed = committed
 	res.Annulled = annulled
 	res.MemAddrs = e.scMemAddrs

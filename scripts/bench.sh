@@ -7,6 +7,14 @@
 #   scripts/bench.sh compare    measure into a temp file and print per-entry
 #                               ns/instr and allocs/instr deltas against the
 #                               committed BENCH_SCHED.json (read-only)
+#   scripts/bench.sh telemetry-gate [PCT]
+#                               measure the machine rows twice on this
+#                               machine — telemetry off and on, with the
+#                               reps interleaved in one process so host
+#                               drift hits both sides — and fail if any
+#                               machine entry's ns/instr overhead exceeds
+#                               PCT percent (default 10, the
+#                               zero-overhead-off contract's enabled bound)
 #
 # Measurements are wall-clock sensitive: run on an idle machine and compare
 # against the committed file's go_version/goos/goarch/num_cpu header before
@@ -21,6 +29,13 @@ if [ "$1" = "compare" ]; then
     go run ./cmd/experiments -bench-out "$tmp" "$@"
     go run ./cmd/experiments -bench-diff "BENCH_SCHED.json,$tmp"
     exit 0
+fi
+
+if [ "$1" = "telemetry-gate" ]; then
+    shift
+    pct="${1:-10}"
+    case "$pct" in -*) pct=10 ;; *) [ $# -gt 0 ] && shift ;; esac
+    exec go run ./cmd/experiments -bench-overhead-gate "$pct" "$@"
 fi
 
 go run ./cmd/experiments -bench-out BENCH_SCHED.json "$@"
