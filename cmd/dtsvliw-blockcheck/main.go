@@ -1,0 +1,206 @@
+// Command dtsvliw-blockcheck statically verifies the legality of every
+// VLIW block a DTSVLIW run schedules: each block saved to the VLIW Cache
+// is checked against the sequential instruction trace it was scheduled
+// from (internal/blockcheck) — dataflow across long-instruction cycles,
+// rename/split linkage, branch tags and speculation, resource and
+// geometry constraints, memory order, and agreement of the lowered
+// micro-op form. The first illegal block aborts the run with a violation
+// report naming the offending cycle and slot; a clean run prints a
+// per-run summary and exits 0.
+//
+// Examples:
+//
+//	dtsvliw-blockcheck -workload all
+//	dtsvliw-blockcheck -workload gcc -configs feasible,multicycle
+//	dtsvliw-blockcheck -file prog.s -configs ideal-8x8 -json
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dtsvliw/internal/arch"
+	"dtsvliw/internal/core"
+	"dtsvliw/internal/oracle"
+	"dtsvliw/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", `built-in workload name, or "all"`)
+		file     = flag.String("file", "", "SPARC V7 assembly file to check instead of a workload")
+		configs  = flag.String("configs", "", "comma-separated machine configurations (default: all)")
+		max      = flag.Uint64("max", 0, "stop each run after N sequential instructions (0 = run to halt)")
+		asJSON   = flag.Bool("json", false, "print violation reports as JSON")
+		verbose  = flag.Bool("v", false, "print a line per run")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dtsvliw-blockcheck [flags]\n\nworkloads: %s\nconfigs:   %s\n\nflags:\n",
+			strings.Join(workloads.Names(), ", "), strings.Join(oracle.ConfigNames(), ", "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	configList, err := parseConfigs(*configs)
+	if err != nil {
+		fatal(err)
+	}
+
+	var runs []run
+	switch {
+	case *workload == "all":
+		for _, w := range workloads.All() {
+			runs = append(runs, run{name: w.Name, workload: w})
+		}
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (have: %s)", *workload, strings.Join(workloads.Names(), ", ")))
+		}
+		runs = append(runs, run{name: w.Name, workload: w})
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		runs = append(runs, run{name: *file, source: string(src)})
+	default:
+		fmt.Fprintln(os.Stderr, "need -workload or -file")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var totalBlocks, totalRuns uint64
+	failed := false
+	for _, r := range runs {
+		for _, nc := range configList {
+			cfg := nc.Cfg
+			cfg.VerifyBlocks = true
+			cfg.MaxInstrs = *max
+			verified, err := r.check(cfg)
+			totalRuns++
+			totalBlocks += verified
+			if err == nil {
+				if *verbose {
+					fmt.Printf("ok   %-10s %-12s %d blocks verified\n", r.name, nc.Name, verified)
+				}
+				continue
+			}
+			failed = true
+			var ve *core.BlockVerifyError
+			if errors.As(err, &ve) {
+				fmt.Printf("FAIL %s under %s: illegal block\n", r.name, nc.Name)
+				if *asJSON {
+					printJSON(ve)
+				} else {
+					fmt.Println(ve.Report)
+				}
+			} else {
+				fmt.Printf("FAIL %s under %s: %v\n", r.name, nc.Name, err)
+			}
+		}
+	}
+	fmt.Printf("blockcheck: %d runs, %d blocks verified\n", totalRuns, totalBlocks)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// run is one program to push through the machine with verification on.
+type run struct {
+	name     string
+	workload *workloads.Workload
+	source   string
+}
+
+// check executes the run under cfg and returns the number of blocks that
+// passed save-time verification.
+func (r *run) check(cfg core.Config) (uint64, error) {
+	var st *arch.State
+	var err error
+	if r.workload != nil {
+		st, err = r.workload.NewState(cfg.NWin)
+	} else {
+		st, err = oracle.BuildState(r.source, cfg.NWin)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if cfg.MaxCycles == 0 || cfg.MaxCycles > 1<<40 {
+		cfg.MaxCycles = 1 << 40
+	}
+	m, err := core.NewMachine(cfg, st)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.Run(); err != nil {
+		return m.Stats.BlocksVerified, err
+	}
+	return m.Stats.BlocksVerified, nil
+}
+
+// printJSON renders the failed block's violations machine-readably.
+func printJSON(ve *core.BlockVerifyError) {
+	rep := ve.Report
+	type jsonViolation struct {
+		Kind   string   `json:"kind"`
+		Cycle  int      `json:"cycle"`
+		Slot   int      `json:"slot"`
+		Addr   string   `json:"addr"`
+		Seq    uint64   `json:"seq"`
+		Tag    uint8    `json:"tag"`
+		Locs   []string `json:"locs,omitempty"`
+		Detail string   `json:"detail"`
+	}
+	out := struct {
+		BlockTag   string          `json:"block_tag"`
+		EntryCWP   uint8           `json:"entry_cwp"`
+		NumLIs     int             `json:"num_lis"`
+		Violations []jsonViolation `json:"violations"`
+	}{
+		BlockTag: fmt.Sprintf("%#08x", rep.BlockTag),
+		EntryCWP: rep.EntryCWP,
+		NumLIs:   rep.NumLIs,
+	}
+	for _, v := range rep.Violations {
+		jv := jsonViolation{
+			Kind: v.Kind.String(), Cycle: v.Cycle, Slot: v.Slot,
+			Addr: fmt.Sprintf("%#08x", v.Addr), Seq: v.Seq, Tag: v.Tag,
+			Detail: v.Detail,
+		}
+		for _, l := range v.Locs {
+			jv.Locs = append(jv.Locs, l.String())
+		}
+		out.Violations = append(out.Violations, jv)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func parseConfigs(arg string) ([]oracle.NamedConfig, error) {
+	if arg == "" {
+		return oracle.DefaultConfigs(), nil
+	}
+	var out []oracle.NamedConfig
+	for _, name := range strings.Split(arg, ",") {
+		nc, ok := oracle.ConfigByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown config %q (have: %s)", name, strings.Join(oracle.ConfigNames(), ", "))
+		}
+		out = append(out, nc)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtsvliw-blockcheck:", err)
+	os.Exit(1)
+}

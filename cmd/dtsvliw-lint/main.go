@@ -1,0 +1,79 @@
+// Command dtsvliw-lint runs the repository's custom static-analysis
+// passes (internal/analysis) over the packages whose output must be
+// bit-for-bit reproducible. Findings print in the familiar
+// file:line:col form; any finding exits 1.
+//
+// With no arguments the deterministic-output packages are checked:
+//
+//	dtsvliw-lint
+//	dtsvliw-lint dtsvliw/internal/telemetry dtsvliw/internal/stats
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dtsvliw/internal/analysis"
+	"dtsvliw/internal/analysis/determinism"
+)
+
+// defaultTargets are the packages whose emitted artifacts (experiment
+// tables, benchmark reports, telemetry summaries) are diffed against
+// committed golden output and therefore must be deterministic.
+var defaultTargets = []string{
+	"dtsvliw/internal/telemetry",
+	"dtsvliw/internal/stats",
+	"dtsvliw/internal/experiments",
+}
+
+func main() {
+	targets := os.Args[1:]
+	if len(targets) == 0 {
+		targets = defaultTargets
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	var pkgs []*analysis.Package
+	for _, t := range targets {
+		pkg, err := loader.Load(t)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags, err := analysis.Run([]*analysis.Analyzer{determinism.Analyzer}, pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		rel, rerr := filepath.Rel(root, pos.Filename)
+		if rerr != nil {
+			rel = pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: %s [%s]\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("dtsvliw-lint: %d packages clean\n", len(pkgs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtsvliw-lint:", err)
+	os.Exit(1)
+}

@@ -40,6 +40,7 @@ func main() {
 		shrink  = flag.Int("shrink", 0, "differential runs each shrink may spend (0 = default)")
 		replay  = flag.Int64("replay", -1, "replay a single seed (use with -shapes/-configs to pin the case)")
 		engines = flag.Bool("engines", false, "lock-step the lowered VLIW Engine against the interpreted engine instead of the sequential reference")
+		verifyB = flag.Bool("verify-blocks", false, "statically verify the legality of every block the scheduler saves (internal/blockcheck)")
 		verbose = flag.Bool("v", false, "print per-run progress")
 	)
 	flag.Usage = func() {
@@ -62,13 +63,14 @@ func main() {
 	}
 
 	opts := oracle.SweepOptions{
-		N:           *n,
-		Seed:        *seed,
-		Shapes:      shapeList,
-		Configs:     configList,
-		MaxFail:     *maxFail,
-		ShrinkEvals: *shrink,
-		EngineDiff:  *engines,
+		N:            *n,
+		Seed:         *seed,
+		Shapes:       shapeList,
+		Configs:      configList,
+		MaxFail:      *maxFail,
+		ShrinkEvals:  *shrink,
+		EngineDiff:   *engines,
+		VerifyBlocks: *verifyB,
 	}
 	if *replay >= 0 {
 		// Replay mode: exactly one program, the given seed, first listed

@@ -1,0 +1,96 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// in the style of golang.org/x/tools/go/analysis: an Analyzer inspects
+// one type-checked package at a time and reports position-tagged
+// diagnostics. It exists because the repository's lint passes must build
+// with the standard library alone; only the subset the dtsvliw linters
+// need is provided (no facts, no cross-analyzer requirements).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one lint pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics.
+	Name string
+	// Doc is a one-paragraph description of what the pass enforces.
+	Doc string
+	// Run inspects one package through the Pass and reports findings
+	// with Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by file position (deterministic across runs).
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, an := range analyzers {
+			pass := &Pass{
+				Analyzer:  an,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := an.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", an.Name, pkg.Path, err)
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkgPosition(pkgs, out[i]), pkgPosition(pkgs, out[j])
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// pkgPosition resolves a diagnostic's position against the file set of
+// the package it came from.
+func pkgPosition(pkgs []*Package, d Diagnostic) token.Position {
+	for _, pkg := range pkgs {
+		if p := pkg.Fset.Position(d.Pos); p.IsValid() {
+			return p
+		}
+	}
+	return token.Position{}
+}

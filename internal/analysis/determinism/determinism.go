@@ -1,0 +1,133 @@
+// Package determinism implements the dtsvliw determinism lint pass.
+//
+// Packages whose output lands in committed experiment tables or golden
+// reports must be bit-for-bit reproducible. Three constructs break that
+// silently, so the pass forbids them:
+//
+//   - time.Now and time.Since calls (wall-clock values leak into output);
+//   - package-level math/rand functions, which draw from the shared
+//     globally-seeded source (rand.New with an explicit seed is fine);
+//   - ranging over a map, whose iteration order changes run to run.
+//
+// A finding is suppressed by a "//determinism:allow" comment on the same
+// line or the line directly above, which is the reviewed way to say the
+// construct's nondeterminism is contained (timing a benchmark, a map
+// range that feeds a sort or a commutative reduction).
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dtsvliw/internal/analysis"
+)
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, the global math/rand source, and map iteration in deterministic-output packages",
+	Run:  run,
+}
+
+// AllowDirective is the suppression comment the pass honours.
+const AllowDirective = "//determinism:allow"
+
+// forbiddenTime are the time-package functions that read the wall clock.
+var forbiddenTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRand are the math/rand package-level functions that do not touch
+// the shared global source.
+var allowedRand = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		allowed := allowedLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n, allowed)
+			case *ast.RangeStmt:
+				checkRange(pass, n, allowed)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// allowedLines collects the lines covered by an AllowDirective comment:
+// the comment's own line and the one below it.
+func allowedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if len(c.Text) >= len(AllowDirective) && c.Text[:len(AllowDirective)] == AllowDirective {
+				line := fset.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+	return lines
+}
+
+func (suppressed suppressCheck) at(fset *token.FileSet, pos token.Pos) bool {
+	return suppressed[fset.Position(pos).Line]
+}
+
+type suppressCheck map[int]bool
+
+// pkgFunc resolves a call target to a package-level function (nil for
+// methods, locals, conversions and builtins).
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, suppressed suppressCheck) {
+	fn := pkgFunc(pass, call)
+	if fn == nil || suppressed.at(pass.Fset, call.Pos()) {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenTime[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; deterministic-output packages must not (%s to waive)",
+				fn.Name(), AllowDirective)
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the shared global source; use a locally seeded rand.New (%s to waive)",
+				fn.Name(), AllowDirective)
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt, suppressed suppressCheck) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if suppressed.at(pass.Fset, rng.Pos()) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is nondeterministic; sort the keys or feed a sorted/commutative consumer (%s to waive)",
+		AllowDirective)
+}

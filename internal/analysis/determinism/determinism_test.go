@@ -1,0 +1,118 @@
+package determinism_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dtsvliw/internal/analysis"
+	"dtsvliw/internal/analysis/determinism"
+)
+
+// src exercises every rule and every escape hatch of the pass. The
+// WANT markers name the lines the analyzer must flag.
+const src = `package lintex
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() (time.Time, time.Duration) {
+	t := time.Now() // WANT time.Now
+	d := time.Since(t) // WANT time.Since
+	_ = d
+	//determinism:allow
+	t2 := time.Now()
+	t3 := time.Now() //determinism:allow
+	_, _ = t2, t3
+	return t, time.Since(t) // WANT time.Since
+}
+
+func random() int {
+	r := rand.New(rand.NewSource(1)) // seeded: allowed
+	n := r.Intn(10)                  // method on seeded source: allowed
+	n += rand.Intn(10)               // WANT rand.Intn
+	rand.Shuffle(n, func(i, j int) {}) // WANT rand.Shuffle
+	return n
+}
+
+func iterate(m map[string]int, s []int) int {
+	sum := 0
+	for _, v := range m { // WANT map iteration
+		sum += v
+	}
+	for _, v := range m { //determinism:allow
+		sum += v
+	}
+	for _, v := range s { // slice: allowed
+		sum += v
+	}
+	return sum
+}
+`
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintex\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(dir, "lintex.go"), src)
+	// A test file with the same violations must be ignored entirely.
+	writeFile(t, filepath.Join(dir, "lintex_test.go"),
+		"package lintex\n\nimport \"time\"\n\nvar T = time.Now()\n")
+
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("lintex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{determinism.Analyzer}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[int]string{
+		9:  "time.Now",
+		10: "time.Since",
+		16: "time.Since",
+		22: "rand.Intn",
+		23: "rand.Shuffle",
+		29: "map iteration",
+	}
+	got := map[int]string{}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		got[pos.Line] = d.Message
+		frag, ok := want[pos.Line]
+		if !ok {
+			t.Errorf("unexpected finding at line %d: %s", pos.Line, d.Message)
+			continue
+		}
+		if !contains(d.Message, frag) {
+			t.Errorf("line %d: message %q does not mention %q", pos.Line, d.Message, frag)
+		}
+	}
+	for line, frag := range want {
+		if _, ok := got[line]; !ok {
+			t.Errorf("missing finding at line %d (want %s)", line, frag)
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -89,10 +89,26 @@ type Config struct {
 	// architectural state at every synchronisation point (paper §4).
 	TestMode bool
 
+	// VerifyBlocks statically verifies every block at save time with the
+	// block-legality checker (internal/blockcheck): the scheduler records
+	// each block's sequential trace and saveBlock proves the schedule
+	// preserves the source dependences before it enters the VLIW Cache,
+	// failing the run with a BlockVerifyError otherwise. Off by default:
+	// trace recording allocates per block and verification is O(slots²),
+	// so the zero-alloc hot paths stay intact only when disabled.
+	VerifyBlocks bool
+
 	// FaultDropCopy injects a deliberate scheduler bug (splits lose their
 	// copy instruction) for the differential oracle's meta-test. Test-only;
 	// see sched.Config.FaultDropCopy.
 	FaultDropCopy bool
+
+	// FaultDropRename/FaultSwapSlots/FaultLatencyViolation inject the
+	// scheduler faults the blockcheck meta-tests assert detection of; see
+	// the matching sched.Config switches. Test-only.
+	FaultDropRename       bool
+	FaultSwapSlots        bool
+	FaultLatencyViolation bool
 
 	// MaxInstrs stops the simulation after this many sequential
 	// instructions (0 = run until the program halts). MaxCycles is a

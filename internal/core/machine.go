@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dtsvliw/internal/arch"
+	"dtsvliw/internal/blockcheck"
 	"dtsvliw/internal/isa"
 	"dtsvliw/internal/mem"
 	"dtsvliw/internal/primary"
@@ -89,11 +90,17 @@ func NewMachine(cfg Config, st *arch.State) (*Machine, error) {
 	}
 	sch, err := sched.New(sched.Config{
 		Width: cfg.Width, Height: cfg.Height, FUs: cfg.FUs, NWin: cfg.NWin,
-		NoForwarding:  cfg.NoSourceForwarding,
-		LoadLatency:   cfg.LoadLatency,
-		FPLatency:     cfg.FPLatency,
-		FPDivLatency:  cfg.FPDivLatency,
-		FaultDropCopy: cfg.FaultDropCopy,
+		NoForwarding: cfg.NoSourceForwarding,
+		LoadLatency:  cfg.LoadLatency,
+		FPLatency:    cfg.FPLatency,
+		FPDivLatency: cfg.FPDivLatency,
+		// The verifier reconstructs each block's footprints from its
+		// sequential trace, so save-time verification needs recording on.
+		RecordTrace:           cfg.VerifyBlocks,
+		FaultDropCopy:         cfg.FaultDropCopy,
+		FaultDropRename:       cfg.FaultDropRename,
+		FaultSwapSlots:        cfg.FaultSwapSlots,
+		FaultLatencyViolation: cfg.FaultLatencyViolation,
 	})
 	if err != nil {
 		return nil, err
@@ -182,15 +189,28 @@ func (m *Machine) addCycles(n int, vliwMode bool) {
 	}
 }
 
+// BlockVerifyError reports a block that failed save-time static
+// verification under Config.VerifyBlocks: the scheduler emitted a
+// schedule the block-legality checker cannot prove equivalent to its
+// sequential source.
+type BlockVerifyError struct {
+	Report *blockcheck.Report
+}
+
+func (e *BlockVerifyError) Error() string {
+	return fmt.Sprintf("core: block failed legality verification: %s", e.Report)
+}
+
 // saveBlock sends a finished block to the VLIW Cache, modelling the
 // one-long-instruction-per-cycle drain (paper §3.2): a new flush issued
 // while the previous block is still draining stalls the Primary
 // Processor. Unless the interpreted engine is forced, the block is
 // lowered once here — the software analogue of storing decoded
-// instructions in the cache line (paper §3.4).
-func (m *Machine) saveBlock(b *sched.Block) {
+// instructions in the cache line (paper §3.4). Under VerifyBlocks the
+// block must pass static legality verification before it is cached.
+func (m *Machine) saveBlock(b *sched.Block) error {
 	if b == nil {
-		return
+		return nil
 	}
 	if m.drain > 0 {
 		m.Stats.DrainStalls += uint64(m.drain)
@@ -200,6 +220,12 @@ func (m *Machine) saveBlock(b *sched.Block) {
 	var low *vliw.LoweredBlock
 	if !m.cfg.InterpretedEngine {
 		low = vliw.Lower(b, m.cfg.NWin)
+	}
+	if m.cfg.VerifyBlocks {
+		if rep := blockcheck.Verify(b, low, m.sch.Config()); !rep.Ok() {
+			return &BlockVerifyError{Report: rep}
+		}
+		m.Stats.BlocksVerified++
 	}
 	m.vc.Save(b, low)
 	m.Stats.BlocksSaved++
@@ -225,6 +251,7 @@ func (m *Machine) saveBlock(b *sched.Block) {
 	if m.BlockHook != nil {
 		m.BlockHook(b)
 	}
+	return nil
 }
 
 // beginBlock enters a VLIW Cache entry on the engine, preferring the
@@ -296,7 +323,9 @@ func (m *Machine) stepPrimary() error {
 	// is annulled before write-back and re-executed in VLIW mode.
 	if !m.skipProbe && m.excBudget == 0 {
 		if ent, ok := m.vc.Lookup(pc, m.St.CWP()); ok {
-			m.saveBlock(m.sch.Flush(pc, m.seq))
+			if err := m.saveBlock(m.sch.Flush(pc, m.seq)); err != nil {
+				return err
+			}
 			m.pipe.FlushState()
 			m.Stats.Switches++
 			m.Stats.SwitchCycles += uint64(m.cfg.SwitchToVLIW)
@@ -347,7 +376,9 @@ func (m *Machine) stepPrimary() error {
 	} else if !in.IsSchedulable() {
 		// Non-schedulable instructions flush the scheduling list (paper
 		// §3.9); the block's successor in the trace is this instruction.
-		m.saveBlock(m.sch.Flush(pc, seqNo))
+		if err := m.saveBlock(m.sch.Flush(pc, seqNo)); err != nil {
+			return err
+		}
 	} else {
 		blk, err := m.sch.Insert(sched.Completed{
 			Inst: in, Addr: pc, CWP: cwpBefore, Outcome: out, Seq: seqNo,
@@ -355,7 +386,9 @@ func (m *Machine) stepPrimary() error {
 		if err != nil {
 			return err
 		}
-		m.saveBlock(blk)
+		if err := m.saveBlock(blk); err != nil {
+			return err
+		}
 	}
 
 	if m.Ref != nil {

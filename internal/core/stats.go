@@ -18,6 +18,7 @@ type Stats struct {
 
 	Switches           uint64 // engine handovers (both directions)
 	BlocksSaved        uint64
+	BlocksVerified     uint64 // blocks proven legal at save time (VerifyBlocks)
 	AliasingExceptions uint64
 	OtherExceptions    uint64
 

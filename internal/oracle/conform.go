@@ -142,6 +142,11 @@ type SweepOptions struct {
 	// (RunDiff) to lowered-vs-interpreted engine lock-step
 	// (RunDiffEngines).
 	EngineDiff bool
+	// VerifyBlocks additionally runs the block-legality verifier
+	// (internal/blockcheck) on every block the machine saves: the run
+	// fails if the scheduler ever emits a block that cannot be statically
+	// proven equivalent to its sequential trace.
+	VerifyBlocks bool
 	// Progress, when set, is called after every run (f is nil unless the
 	// run failed).
 	Progress func(done, total int, f *Failure)
@@ -176,6 +181,7 @@ func Sweep(o SweepOptions) *Report {
 		seed := o.Seed + int64(i)
 		shape := shapes[i%len(shapes)]
 		nc := configs[(i/len(shapes))%len(configs)]
+		nc.Cfg.VerifyBlocks = o.VerifyBlocks
 		src := progen.Generate(progen.ShapeParams(shape, seed))
 
 		res, err := diffRun(src, nc.Cfg)

@@ -91,6 +91,11 @@ type Scheduler struct {
 	// aliasing exception (paper §3.11).
 	conservative map[uint64]bool
 
+	// trace accumulates the current block's sequential instruction trace
+	// under Config.RecordTrace; flush hands the slice to the block and
+	// starts a fresh one.
+	trace []Completed
+
 	// Candidate signatures: the packed footprints of the instruction
 	// currently journeying through Insert/moveUp (kept here, not in the
 	// Slot, so block-resident slots stay small).
@@ -786,6 +791,7 @@ func (u *Scheduler) split(cand *Slot, e *element, slotIdx int, conflicted []isa.
 	cpWrites := u.scratchCpW[:0]
 	renames := append(u.scratchPairsA[:0], cand.Renames...)
 	copies := u.scratchPairsB[:0]
+	faultedRename := false
 	for _, w := range cand.writes {
 		conflict := w.Kind != isa.LocRen
 		if conflict {
@@ -802,6 +808,18 @@ func (u *Scheduler) split(cand *Slot, e *element, slotIdx int, conflicted []isa.
 			continue
 		}
 		reg := u.allocRename(w)
+		if u.cfg.FaultDropRename && !faultedRename && w.Kind != isa.LocMem {
+			// Fault injection (blockcheck meta-test): the split allocates
+			// the renaming register and leaves the copy behind, but forgets
+			// to redirect the producer's write — the copy commits a
+			// renaming register nothing writes.
+			faultedRename = true
+			copies = append(copies, RenamePair{Loc: w, Reg: reg})
+			cpReads = append(cpReads, RenLoc(reg))
+			cpWrites = append(cpWrites, w)
+			remaining = append(remaining, w)
+			continue
+		}
 		renames = append(renames, RenamePair{Loc: w, Reg: reg})
 		copies = append(copies, RenamePair{Loc: w, Reg: reg})
 		cpReads = append(cpReads, RenLoc(reg))
@@ -857,6 +875,12 @@ func (u *Scheduler) split(cand *Slot, e *element, slotIdx int, conflicted []isa.
 // before calling Insert.
 func (u *Scheduler) Insert(c Completed) (*Block, error) {
 	if c.Inst.IsNop() || c.Inst.IsUncondBranch() {
+		if u.cfg.RecordTrace && len(u.elems) > 0 {
+			// Ignored instructions inside an open block belong to its trace
+			// span; before the first placed instruction they belong to no
+			// block.
+			u.trace = append(u.trace, c)
+		}
 		u.Stats.Ignored++
 		return nil, nil
 	}
@@ -910,6 +934,11 @@ func (u *Scheduler) Insert(c Completed) (*Block, error) {
 	slotIdx := u.place(cand, u.elems[tailIdx])
 	u.Stats.Inserted++
 	u.blockIns++
+	if u.cfg.RecordTrace {
+		// Record after the flush/startBlock decisions above, so the
+		// instruction lands in the trace of the block it was placed in.
+		u.trace = append(u.trace, c)
+	}
 
 	u.moveUp(cand, tailIdx, slotIdx)
 	return flushed, nil
@@ -1065,6 +1094,9 @@ func (u *Scheduler) Flush(nbaAddr uint32, endSeq uint64) *Block {
 }
 
 func (u *Scheduler) flush(nbaAddr uint32, endSeq uint64) *Block {
+	if u.cfg.FaultSwapSlots || u.cfg.FaultLatencyViolation {
+		u.injectFlushFaults()
+	}
 	b := &Block{
 		Tag:          u.blockTag,
 		EntryCWP:     u.blockCWP,
@@ -1091,6 +1123,10 @@ func (u *Scheduler) flush(nbaAddr uint32, endSeq uint64) *Block {
 	}
 	u.elems = u.elems[:0]
 	u.haveTag = false
+	if u.cfg.RecordTrace {
+		b.Trace = u.trace
+		u.trace = nil
+	}
 	u.Stats.BlocksFlushed++
 	u.Stats.FlushedLIs += uint64(b.NumLIs)
 	u.Stats.FlushedSlots += uint64(b.ValidOps)
@@ -1098,6 +1134,77 @@ func (u *Scheduler) flush(nbaAddr uint32, endSeq uint64) *Block {
 		u.tel.BlockFlushed(b.NumLIs, u.blockIns)
 	}
 	return b
+}
+
+// injectFlushFaults deliberately corrupts the finished schedule just
+// before it is compacted into a Block, for blockcheck meta-tests. Each
+// fault relocates one consumer into an illegal long instruction:
+//
+//   - FaultSwapSlots moves a consumer into the same long instruction as
+//     one of its producers (a read-after-write violation);
+//   - FaultLatencyViolation moves a consumer of a multicycle producer
+//     into the producer's latency shadow.
+//
+// At most one slot is moved per block; blocks with no eligible victim
+// pair flush unfaulted. The elements are about to be released, so only
+// the aggregates flush still reads (slots, occ, occMask) are maintained;
+// the moved slot's branch tag is recomputed for its destination so the
+// injected violation stays surgical.
+func (u *Scheduler) injectFlushFaults() {
+	for i := 0; i < len(u.elems); i++ {
+		p := u.elems[i]
+		if p.occ == 0 {
+			continue
+		}
+		for _, prod := range p.slots {
+			if prod == nil || len(prod.writes) == 0 {
+				continue
+			}
+			dstIdx := i
+			if u.cfg.FaultLatencyViolation {
+				if prod.LatOr1() < 2 {
+					continue
+				}
+				dstIdx = i + 1 // strictly inside the latency shadow
+			}
+			for j := dstIdx + 1; j < len(u.elems); j++ {
+				for cIdx, c := range u.elems[j].slots {
+					if c == nil || c.IsCopy || c.IsMem || c.Inst.IsCTI() ||
+						!overlapAny(c.reads, prod.writes) {
+						continue
+					}
+					if u.relocateSlot(j, cIdx, dstIdx) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// relocateSlot moves the slot at (srcElem, srcIdx) into a free
+// class-compatible slot of dstElem, returning false if none is free.
+func (u *Scheduler) relocateSlot(srcElem, srcIdx, dstElem int) bool {
+	src, dst := u.elems[srcElem], u.elems[dstElem]
+	c := src.slots[srcIdx]
+	idx := u.freeSlot(dst, c.Inst.Class())
+	if idx < 0 {
+		return false
+	}
+	src.slots[srcIdx] = nil
+	src.occ--
+	src.occMask &^= 1 << uint(srcIdx)
+	dst.slots[idx] = c
+	dst.occ++
+	dst.occMask |= 1 << uint(idx)
+	var tag uint8
+	for _, s := range dst.slots {
+		if s != nil && s != c && s.IsCondOrIndirectBranch() && s.Seq < c.Seq {
+			tag++
+		}
+	}
+	c.Tag = tag
+	return true
 }
 
 // Dump renders the scheduling list for debugging, in the style of the

@@ -253,6 +253,14 @@ type Block struct {
 	// Conservative records that the block was scheduled with load/store
 	// reordering disabled after an aliasing exception (paper §3.11).
 	Conservative bool
+
+	// Trace is the sequential instruction trace the block was scheduled
+	// from, recorded only under Config.RecordTrace: one Completed per
+	// sequence number in [FirstSeq, EndSeq), in program order, including
+	// the ignored nops and unconditional branches inside the span. The
+	// static verifier (internal/blockcheck) replays it to prove the
+	// schedule legal without execution. Nil when recording is off.
+	Trace []Completed
 }
 
 // Dump renders the block as a slot grid in the style of the paper's
@@ -304,6 +312,16 @@ type Config struct {
 	FPLatency    int
 	FPDivLatency int
 
+	// RecordTrace attaches the sequential instruction trace to every
+	// flushed block (Block.Trace): each Completed handed to Insert while
+	// the block is open, including ignored nops and unconditional
+	// branches. The static block-legality verifier (internal/blockcheck)
+	// reconstructs each slot's footprint from this trace and proves the
+	// schedule preserves the source dependences. Off by default: recording
+	// allocates per block, and the insertion hot path stays zero-alloc
+	// only when it is disabled.
+	RecordTrace bool
+
 	// FaultDropCopy is a deliberate fault-injection switch used only by
 	// the differential oracle's meta-test (internal/oracle): the scheduler
 	// drops the copy instruction a split leaves behind, so values
@@ -311,7 +329,35 @@ type Config struct {
 	// and VLIW execution diverges from sequential semantics. It exists to
 	// prove the oracle detects real scheduler bugs; never set it otherwise.
 	FaultDropCopy bool
+
+	// FaultDropRename makes each split forget to redirect the producer's
+	// first conflicted (non-memory) output to its renaming register while
+	// still leaving the copy instruction behind: the copy then commits a
+	// renaming register nothing writes. Meta-test only (blockcheck flags
+	// it as a rename-no-producer violation).
+	FaultDropRename bool
+
+	// FaultSwapSlots relocates, at flush time, one consumer into the same
+	// long instruction as its producer, violating the read-before-write
+	// long-instruction semantics. Meta-test only (blockcheck flags it as
+	// a RAW violation).
+	FaultSwapSlots bool
+
+	// FaultLatencyViolation relocates, at flush time, one consumer of a
+	// multicycle producer into the producer's latency shadow. Meta-test
+	// only (blockcheck flags it as a latency violation); it needs a
+	// configuration with LoadLatency/FPLatency > 1 to find a victim.
+	FaultLatencyViolation bool
 }
+
+// Latency returns the scheduling latency of an instruction under this
+// configuration (exported for the block-legality verifier, which re-checks
+// every slot's recorded latency).
+func (c Config) Latency(in *isa.Inst) int { return c.latencyOf(in) }
+
+// SlotAccepts reports whether slot index i can hold an instruction of
+// class cl (exported for the block-legality verifier's resource checks).
+func (c Config) SlotAccepts(i int, cl isa.FUClass) bool { return c.slotAccepts(i, cl) }
 
 // latencyOf returns the scheduling latency of an instruction under this
 // configuration.

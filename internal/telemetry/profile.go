@@ -74,7 +74,7 @@ func (p *BlockProf) ExitPCs() []ExitPC {
 	var out []ExitPC
 	if p.exitMap != nil {
 		out = make([]ExitPC, 0, len(p.exitMap))
-		for pc, n := range p.exitMap {
+		for pc, n := range p.exitMap { //determinism:allow sorted by count/PC below
 			out = append(out, ExitPC{PC: pc, Count: n})
 		}
 	} else {
@@ -113,7 +113,7 @@ func (c *Collector) profile(tag uint32) *BlockProf {
 // by ascending tag (deterministic).
 func (c *Collector) Profiles() []*BlockProf {
 	out := make([]*BlockProf, 0, len(c.profiles))
-	for _, p := range c.profiles {
+	for _, p := range c.profiles { //determinism:allow sorted by cycles/tag below
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -130,7 +130,7 @@ func (c *Collector) Profiles() []*BlockProf {
 // machine's Stats.VLIWCycles.
 func (c *Collector) TotalBlockCycles() uint64 {
 	var sum uint64
-	for _, p := range c.profiles {
+	for _, p := range c.profiles { //determinism:allow commutative sum
 		sum += p.Cycles
 	}
 	return sum

@@ -1,0 +1,78 @@
+package vliw
+
+import (
+	"fmt"
+	"reflect"
+
+	"dtsvliw/internal/sched"
+)
+
+// LowerMismatchError reports a disagreement between a block's saved
+// lowered form and a fresh lowering of its slot grid. Line and Slot
+// locate the first mismatching long instruction and operation index
+// (-1 when the mismatch is not line-specific).
+type LowerMismatchError struct {
+	Line   int
+	Slot   int
+	Detail string
+}
+
+func (e *LowerMismatchError) Error() string {
+	if e.Line < 0 {
+		return fmt.Sprintf("vliw: lowered form mismatch: %s", e.Detail)
+	}
+	return fmt.Sprintf("vliw: lowered form mismatch at li=%d op=%d: %s", e.Line, e.Slot, e.Detail)
+}
+
+// CheckLowered verifies that low is exactly the lowering of b: the block
+// is re-lowered and the two micro-op forms are compared structurally.
+// Because lowering is deterministic, any divergence means the cached
+// executable form no longer decodes to the same semantic operations as
+// the slot grid (the blockcheck verifier's lowered-agreement condition).
+func CheckLowered(b *sched.Block, low *LoweredBlock, nwin int) error {
+	if low.b != b {
+		return &LowerMismatchError{Line: -1, Slot: -1,
+			Detail: "lowered form does not reference this block"}
+	}
+	want := Lower(b, nwin)
+	if want == nil {
+		return &LowerMismatchError{Line: -1, Slot: -1,
+			Detail: "block is not representable in lowered form, yet a lowering is cached"}
+	}
+	if low.renTotal != want.renTotal {
+		return &LowerMismatchError{Line: -1, Slot: -1,
+			Detail: fmt.Sprintf("renaming-register total %d, re-lowering yields %d",
+				low.renTotal, want.renTotal)}
+	}
+	if len(low.lines) != len(want.lines) {
+		return &LowerMismatchError{Line: -1, Slot: -1,
+			Detail: fmt.Sprintf("%d lowered lines, re-lowering yields %d",
+				len(low.lines), len(want.lines))}
+	}
+	for li := range want.lines {
+		gl, wl := &low.lines[li], &want.lines[li]
+		if len(gl.brs) != len(wl.brs) {
+			return &LowerMismatchError{Line: li, Slot: -1,
+				Detail: fmt.Sprintf("%d lowered branches, re-lowering yields %d",
+					len(gl.brs), len(wl.brs))}
+		}
+		for i := range wl.brs {
+			if gl.brs[i] != wl.brs[i] {
+				return &LowerMismatchError{Line: li, Slot: i,
+					Detail: fmt.Sprintf("branch %+v, re-lowering yields %+v", gl.brs[i], wl.brs[i])}
+			}
+		}
+		if len(gl.ops) != len(wl.ops) {
+			return &LowerMismatchError{Line: li, Slot: -1,
+				Detail: fmt.Sprintf("%d lowered ops, re-lowering yields %d",
+					len(gl.ops), len(wl.ops))}
+		}
+		for i := range wl.ops {
+			if !reflect.DeepEqual(gl.ops[i], wl.ops[i]) {
+				return &LowerMismatchError{Line: li, Slot: i,
+					Detail: fmt.Sprintf("op %+v, re-lowering yields %+v", gl.ops[i], wl.ops[i])}
+			}
+		}
+	}
+	return nil
+}
