@@ -25,6 +25,7 @@ var defaultTargets = []string{
 	"dtsvliw/internal/telemetry",
 	"dtsvliw/internal/stats",
 	"dtsvliw/internal/experiments",
+	"dtsvliw/internal/optsched",
 }
 
 func main() {

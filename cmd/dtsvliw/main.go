@@ -28,6 +28,8 @@ func main() {
 	vcacheAssoc := flag.Int("vcache-assoc", 0, "VLIW Cache associativity (0 = default)")
 	max := flag.Uint64("max", 0, "stop after N sequential instructions (0 = run to halt)")
 	testMode := flag.Bool("testmode", false, "lockstep-validate against the sequential test machine")
+	strategy := flag.String("strategy", "", "scheduling strategy (fcfs one-per-block optimal; empty = fcfs)")
+	schedBudget := flag.Int("sched-budget", 0, "search budget per block for the optimal strategy (0 = default, negative = unlimited)")
 	interpreted := flag.Bool("interpreted", false, "disable lowered blocks: VLIW Engine re-interprets scheduler slots")
 	showOutput := flag.Bool("output", false, "print the program's trap output")
 	dumpBlocks := flag.Int("dumpblocks", 0, "print the first N scheduled blocks (Figure 2c style)")
@@ -52,6 +54,8 @@ func main() {
 	cfg.MaxInstrs = *max
 	cfg.TestMode = *testMode
 	cfg.InterpretedEngine = *interpreted
+	cfg.SchedStrategy = *strategy
+	cfg.SchedNodeBudget = *schedBudget
 	if *trace != "" || *profile {
 		cfg.Telemetry = true
 		cfg.TelemetryRingSize = *ringSize
@@ -102,6 +106,10 @@ func main() {
 	fmt.Printf("trace exits:         %d\n", s.Engine.TraceExits)
 	fmt.Printf("splits/copies:       %d/%d\n", s.Sched.Splits, s.Engine.CopiesExecuted)
 	fmt.Printf("aliasing exceptions: %d\n", s.AliasingExceptions)
+	if s.Sched.RepackedBlocks > 0 {
+		fmt.Printf("repacked blocks:     %d (saved %d LIs, %d proven optimal, %d search nodes)\n",
+			s.Sched.RepackedBlocks, s.Sched.RepackSavedLIs, s.Sched.RepackProven, s.Sched.RepackNodes)
+	}
 	fmt.Printf("renaming (int/fp/flag/mem): %d/%d/%d/%d\n",
 		s.Sched.MaxRenames[0], s.Sched.MaxRenames[1], s.Sched.MaxRenames[2], s.Sched.MaxRenames[3])
 	if sys.Halted() {

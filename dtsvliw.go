@@ -117,6 +117,16 @@ type Config struct {
 	// and debugging.
 	InterpretedEngine bool
 
+	// SchedStrategy selects the Scheduler Unit's placement policy by
+	// registry name (DESIGN.md §14): empty selects "fcfs", the paper's
+	// hardware algorithm; "optimal" repacks every block to its minimum
+	// height at flush time (the scheduling-gap oracle); "one-per-block"
+	// is the degenerate reference.
+	SchedStrategy string
+	// SchedNodeBudget bounds search-based strategies per block (0 =
+	// strategy default, negative = unlimited).
+	SchedNodeBudget int
+
 	// LoadLatency/FPLatency/FPDivLatency enable the multicycle-
 	// instruction extension (the paper's companion study); zero or one is
 	// the Table 1 single-cycle baseline.
@@ -161,6 +171,8 @@ func (c Config) toInternal() (core.Config, error) {
 	}
 	base.ExitPrediction = c.ExitPrediction
 	base.InterpretedEngine = c.InterpretedEngine
+	base.SchedStrategy = c.SchedStrategy
+	base.SchedNodeBudget = c.SchedNodeBudget
 	base.LoadLatency = c.LoadLatency
 	base.FPLatency = c.FPLatency
 	base.FPDivLatency = c.FPDivLatency

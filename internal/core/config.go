@@ -71,6 +71,18 @@ type Config struct {
 	// registers in the Scheduler Unit (ablation; see DESIGN.md §5a).
 	NoSourceForwarding bool
 
+	// SchedStrategy selects the Scheduler Unit's placement policy by
+	// registry name (DESIGN.md §14): empty = "fcfs", the paper's hardware
+	// algorithm; "optimal" repacks every block to its minimum height at
+	// flush time (the scheduling-gap oracle); "one-per-block" is the
+	// degenerate reference. Unknown names fail NewMachine.
+	SchedStrategy string
+
+	// SchedNodeBudget bounds search-based strategies per block (the
+	// branch-and-bound node budget of the optimal repacker): 0 selects the
+	// strategy default, negative removes the bound.
+	SchedNodeBudget int
+
 	// LoadLatency/FPLatency/FPDivLatency enable the multicycle-
 	// instruction extension (the paper's companion study [14]); zero or
 	// one keeps the Table 1 single-cycle baseline.

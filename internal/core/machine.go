@@ -12,6 +12,11 @@ import (
 	"dtsvliw/internal/telemetry"
 	"dtsvliw/internal/vcache"
 	"dtsvliw/internal/vliw"
+
+	// Register the optimal-repacking strategy ("optimal") with the
+	// Scheduler Unit's strategy registry, so Config.SchedStrategy can
+	// select it on any machine.
+	_ "dtsvliw/internal/optsched"
 )
 
 // Mode identifies which execution engine currently owns the machine
@@ -90,10 +95,12 @@ func NewMachine(cfg Config, st *arch.State) (*Machine, error) {
 	}
 	sch, err := sched.New(sched.Config{
 		Width: cfg.Width, Height: cfg.Height, FUs: cfg.FUs, NWin: cfg.NWin,
-		NoForwarding: cfg.NoSourceForwarding,
-		LoadLatency:  cfg.LoadLatency,
-		FPLatency:    cfg.FPLatency,
-		FPDivLatency: cfg.FPDivLatency,
+		NoForwarding:   cfg.NoSourceForwarding,
+		Strategy:       cfg.SchedStrategy,
+		StrategyBudget: cfg.SchedNodeBudget,
+		LoadLatency:    cfg.LoadLatency,
+		FPLatency:      cfg.FPLatency,
+		FPDivLatency:   cfg.FPDivLatency,
 		// The verifier reconstructs each block's footprints from its
 		// sequential trace, so save-time verification needs recording on.
 		RecordTrace:           cfg.VerifyBlocks,

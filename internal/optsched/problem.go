@@ -1,0 +1,274 @@
+// Package optsched is the offline optimal-schedule oracle: it repacks a
+// finished block's slots into the minimum number of long instructions
+// reachable without changing the block's instruction set, rename/copy
+// structure or recorded outcomes, proving how much schedule height the
+// hardware's greedy First-Come-First-Served placement left on the table
+// (DESIGN.md §14).
+//
+// The formulation mirrors internal/blockcheck exactly: a repacked block
+// must satisfy the same RAW/latency-shadow, WAR, WAW, copy-order,
+// speculation, geometry, functional-unit and conservative-memory
+// conditions the static verifier checks — plus one condition blockcheck
+// leaves to the scheduler by construction (exit completeness: no
+// instruction older than a branch may sit below the branch's long
+// instruction, or a runtime trace exit would lose its effect). Every
+// repacked schedule is therefore verified legal by construction, and the
+// save-time blockcheck pass plus the differential oracle re-prove it
+// end-to-end on every run.
+//
+// The search is a stdlib-only branch-and-bound over row assignments in
+// source order, seeded with the FCFS schedule as the incumbent (the
+// result can never be worse), pruned by critical-path tails and
+// per-functional-unit resource counts, and bounded by a node budget that
+// degrades gracefully to "best found" (Result.Proven reports whether the
+// search completed).
+package optsched
+
+import (
+	"sort"
+
+	"dtsvliw/internal/isa"
+	"dtsvliw/internal/sched"
+)
+
+// noSep marks an unconstrained ordered pair in the separation matrix.
+const noSep = int32(-1 << 30)
+
+// op is one occupied slot of the block under repacking, in source order.
+type op struct {
+	s       *sched.Slot
+	lat     int         // LatOr1
+	cls     isa.FUClass // column compatibility class
+	origLI  int
+	origCol int
+	squash  bool // may execute above an older branch (all writes renamed)
+	br      bool // conditional/indirect branch
+	mem     bool // direct (non-copy) memory operation
+}
+
+// problem is the constraint system of one block: the ops in source order
+// and the minimum row separation of every ordered pair.
+type problem struct {
+	cfg sched.Config
+	b   *sched.Block
+	ops []op
+
+	// sep[i*n+j] (i < j) is the minimum li(j)-li(i); noSep when the pair
+	// is unconstrained. Negative separations (write-after-read) allow the
+	// younger op to sit above the older one.
+	sep []int32
+
+	// neq[j] lists the earlier ops i that must not share op j's row: WAW
+	// pairs where the younger write has the longer latency, so the
+	// land-in-order floor is ≤ 0 but same-row commit order (slot position,
+	// not source order) stays illegal.
+	neq [][]int32
+
+	// tail[i] is the minimum number of rows strictly below op i forced by
+	// separation chains; est[i] the minimum row of op i from chains above.
+	tail []int32
+	est  []int32
+}
+
+// newProblem builds the constraint system for block b. The op order —
+// source order, producers before their copies — is the branch-and-bound
+// variable order.
+func newProblem(b *sched.Block, cfg sched.Config) *problem {
+	p := &problem{cfg: cfg, b: b}
+	for li, row := range b.LIs {
+		for col, s := range row {
+			if s == nil {
+				continue
+			}
+			p.ops = append(p.ops, op{
+				s:       s,
+				lat:     s.LatOr1(),
+				cls:     s.Inst.Class(),
+				origLI:  li,
+				origCol: col,
+				squash:  squashable(s),
+				br:      s.IsCondOrIndirectBranch(),
+				mem:     s.IsMem && !s.IsCopy,
+			})
+		}
+	}
+	sort.SliceStable(p.ops, func(i, j int) bool {
+		a, b := &p.ops[i], &p.ops[j]
+		if a.s.Seq != b.s.Seq {
+			return a.s.Seq < b.s.Seq
+		}
+		if a.s.IsCopy != b.s.IsCopy {
+			return !a.s.IsCopy // the producer precedes its copies
+		}
+		if a.origLI != b.origLI {
+			return a.origLI < b.origLI
+		}
+		return a.origCol < b.origCol
+	})
+	n := len(p.ops)
+	p.sep = make([]int32, n*n)
+	p.neq = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d, neq := p.pairSep(&p.ops[i], &p.ops[j])
+			p.sep[i*n+j] = d
+			if neq && d <= 0 {
+				p.neq[j] = append(p.neq[j], int32(i))
+			}
+		}
+	}
+	p.computeBounds()
+	return p
+}
+
+// computeBounds fills the earliest-start and tail-chain bounds from the
+// separation matrix: est[j] is the longest positive-separation chain from
+// any root down to op j, tail[i] the longest chain from op i to any leaf.
+func (p *problem) computeBounds() {
+	n := len(p.ops)
+	p.est = make([]int32, n)
+	p.tail = make([]int32, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if d := p.sep[i*n+j]; d != noSep && p.est[i]+d > p.est[j] {
+				p.est[j] = p.est[i] + d
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			if d := p.sep[i*n+j]; d != noSep && d+p.tail[j] > p.tail[i] {
+				p.tail[i] = d + p.tail[j]
+			}
+		}
+	}
+}
+
+// squashable reports whether a slot may execute speculatively above an
+// older branch: annulling it on a trace exit must lose no architectural
+// state (blockcheck's speculation rule — not a copy, not a branch, every
+// write redirected to a renaming register).
+func squashable(s *sched.Slot) bool {
+	if s.IsCopy || s.IsCondOrIndirectBranch() {
+		return false
+	}
+	for _, w := range s.Writes() {
+		if w.Kind != isa.LocRen {
+			return false
+		}
+	}
+	return true
+}
+
+// pairSep returns the minimum row separation li(b)-li(a) of one ordered
+// pair (a precedes b in the op order), mirroring blockcheck's checkPair
+// formulas: a write issued at row i with latency λ lands at the end of
+// row i+λ-1 and is readable from row i+λ on; reads sample pre-row state;
+// same-row writes commit by slot position, never by source order.
+// The second result flags a WAW pair whose separation floor alone does
+// not rule out sharing a row (the younger write has the longer latency,
+// making the land-in-order floor ≤ 0): the searcher must additionally
+// keep the two ops in distinct rows.
+func (p *problem) pairSep(a, b *op) (int32, bool) {
+	d := noSep
+	if a.s.Seq == b.s.Seq {
+		// Producer/copy pairs (equal sequence number): the copy reads its
+		// producer through the rename bypass and must sit strictly below
+		// it; two copies of one producer commit disjoint locations and do
+		// not constrain each other.
+		if !a.s.IsCopy && b.s.IsCopy {
+			d = 1
+		}
+		return d, false
+	}
+	latA, latB := int32(a.lat), int32(b.lat)
+	// RAW: b issues after a's result lands (li(b) ≥ li(a)+λa). Copies are
+	// exempt — they read through the rename bypass.
+	if !b.s.IsCopy && footOverlap(a.s.Writes(), b.s.Reads()) && latA > d {
+		d = latA
+	}
+	// WAR: b's write must not land before a issues (li(b)+λb-1 ≥ li(a)).
+	if footOverlap(a.s.Reads(), b.s.Writes()) && 1-latB > d {
+		d = 1 - latB
+	}
+	// WAW: never share a row, and land in source order (ties broken by
+	// row: blockcheck's dueA == dueB case is legal only when a sits
+	// above b). When the younger write has the strictly longer latency
+	// the floor is ≤ 0 — b may legally sit above a — but the
+	// never-share-a-row condition survives as a separate constraint.
+	neq := false
+	if footOverlap(a.s.Writes(), b.s.Writes()) {
+		w := latA - latB
+		if latA <= latB {
+			w++
+		}
+		if w > d {
+			d = w
+		}
+		neq = latA < latB
+	}
+	// Speculation: a non-squashable younger op never sits above an older
+	// branch (same row is legal — branch tags annul it on a trace exit).
+	if a.br && !b.squash && d < 0 {
+		d = 0
+	}
+	// Exit completeness: an op older than a branch never sits below it —
+	// a runtime trace exit at the branch would lose its effect. blockcheck
+	// cannot see this rule (the FCFS scheduler satisfies it by
+	// construction); the repacker must preserve it.
+	if b.br && d < 0 {
+		d = 0
+	}
+	// Conservative blocks keep direct memory operations in strict source
+	// order across rows (paper §3.11).
+	if p.b.Conservative && a.mem && b.mem && d < 1 {
+		d = 1
+	}
+	return d, neq
+}
+
+// footOverlap reports whether any location of a overlaps any of b.
+func footOverlap(a, b []isa.Loc) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Overlaps(y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// staticLB is the problem-wide makespan lower bound: the longest
+// separation chain, and per functional-unit class the rows forced by
+// column capacity.
+func (p *problem) staticLB() int {
+	lb := int32(1)
+	for i := range p.ops {
+		if h := p.est[i] + p.tail[i] + 1; h > lb {
+			lb = h
+		}
+	}
+	var cnt [isa.FUAny + 1]int
+	for i := range p.ops {
+		cnt[p.ops[i].cls]++
+	}
+	for cl, n := range cnt {
+		if n == 0 {
+			continue
+		}
+		cols := 0
+		for i := 0; i < p.cfg.Width; i++ {
+			if p.cfg.SlotAccepts(i, isa.FUClass(cl)) {
+				cols++
+			}
+		}
+		if cols == 0 {
+			continue // unschedulable class: the block could not exist
+		}
+		if need := int32((n + cols - 1) / cols); need > lb {
+			lb = need
+		}
+	}
+	return int(lb)
+}

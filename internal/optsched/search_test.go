@@ -1,0 +1,253 @@
+package optsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dtsvliw/internal/isa"
+	"dtsvliw/internal/sched"
+)
+
+// The branch-and-bound must return the true minimum makespan. This
+// white-box test fabricates random constraint systems — separation
+// matrices, not-same-row pairs, and functional-unit classes — and checks
+// the unbounded search against an exhaustive enumeration that shares
+// nothing with it but the constraint definitions. The encoding of real
+// blocks into constraints is proven separately, end to end, by the
+// blockcheck-clean and conformance suites.
+
+const bruteHeight = 8
+
+// bruteForce returns the minimum makespan over all complete assignments
+// of ops to rows [0, height) and columns, or 0 when none is feasible.
+// Plain depth-first enumeration with only feasibility pruning: no
+// incumbent bound, no est/tail, no matching — the structures under test.
+func bruteForce(p *problem, height int) int {
+	n := len(p.ops)
+	li := make([]int32, n)
+	occ := make([][]int, height) // occ[r] = op indexes in row r
+	best := 0
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			rows := 0
+			for _, r := range li {
+				if int(r)+1 > rows {
+					rows = int(r) + 1
+				}
+			}
+			if best == 0 || rows < best {
+				best = rows
+			}
+			return
+		}
+	rows:
+		for r := 0; r < height; r++ {
+			for i := 0; i < k; i++ {
+				if d := p.sep[i*n+k]; d != noSep && int32(r) < li[i]+d {
+					continue rows
+				}
+			}
+			for _, i := range p.neq[k] {
+				if li[i] == int32(r) {
+					continue rows
+				}
+			}
+			if !rowFits(p, append(occ[r], k)) {
+				continue
+			}
+			li[k] = int32(r)
+			occ[r] = append(occ[r], k)
+			rec(k + 1)
+			occ[r] = occ[r][:len(occ[r])-1]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// rowFits reports whether the row's ops can all be assigned distinct
+// compatible columns, by trying every column permutation recursively.
+func rowFits(p *problem, ops []int) bool {
+	if len(ops) > p.cfg.Width {
+		return false
+	}
+	used := make([]bool, p.cfg.Width)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(ops) {
+			return true
+		}
+		for c := 0; c < p.cfg.Width; c++ {
+			if used[c] || !p.cfg.SlotAccepts(c, p.ops[ops[i]].cls) {
+				continue
+			}
+			used[c] = true
+			if rec(i + 1) {
+				return true
+			}
+			used[c] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// randomProblem fabricates a constraint system of n ops. Heterogeneous
+// systems draw per-op classes and a mixed functional-unit row; the rest
+// accept every op in every column.
+func randomProblem(r *rand.Rand, n, width int, hetero bool) *problem {
+	cfg := sched.Config{Width: width, Height: bruteHeight, NWin: 2}
+	if hetero {
+		cfg.FUs = make([]isa.FUClass, width)
+		for i := range cfg.FUs {
+			cfg.FUs[i] = []isa.FUClass{isa.FUAny, isa.FUInt, isa.FUBranch}[r.Intn(3)]
+		}
+	}
+	p := &problem{cfg: cfg, b: &sched.Block{NumLIs: bruteHeight}}
+	p.ops = make([]op, n)
+	for i := range p.ops {
+		if hetero {
+			p.ops[i].cls = []isa.FUClass{isa.FUInt, isa.FUBranch}[r.Intn(2)]
+		}
+	}
+	p.sep = make([]int32, n*n)
+	p.neq = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := noSep
+			switch r.Intn(8) {
+			case 0:
+				d = 2
+			case 1, 2:
+				d = 1
+			case 3:
+				d = 0
+			case 4:
+				d = -1
+			}
+			p.sep[i*n+j] = d
+			if d <= 0 && r.Intn(6) == 0 {
+				p.neq[j] = append(p.neq[j], int32(i))
+			}
+		}
+	}
+	p.computeBounds()
+	return p
+}
+
+// TestSearchMatchesBruteForce checks the unbounded branch-and-bound
+// against exhaustive enumeration on random systems small enough to
+// enumerate: whenever a schedule shorter than the incumbent exists, the
+// search must find one of exactly the minimum height, and must report it
+// proven.
+func TestSearchMatchesBruteForce(t *testing.T) {
+	cases := 400
+	if testing.Short() {
+		cases = 80
+	}
+	r := rand.New(rand.NewSource(20260808))
+	for i := 0; i < cases; i++ {
+		n := 2 + r.Intn(6)     // 2..7 ops
+		width := 1 + r.Intn(3) // 1..3 columns
+		hetero := r.Intn(3) == 0
+		p := randomProblem(r, n, width, hetero)
+		want := bruteForce(p, bruteHeight)
+		sr := p.search(bruteHeight, -1) // negative budget: unlimited
+		if !sr.proven {
+			t.Fatalf("case %d: unlimited search not proven", i)
+		}
+		switch {
+		case want == 0:
+			// Infeasible within the height: the incumbent must survive.
+			if sr.li != nil {
+				t.Fatalf("case %d: search found a schedule where none exists", i)
+			}
+		case want < bruteHeight:
+			if sr.rows != want {
+				t.Fatalf("case %d (n=%d w=%d hetero=%v): search found %d rows, brute force %d",
+					i, n, width, hetero, sr.rows, want)
+			}
+			if sr.li == nil {
+				t.Fatalf("case %d: search reported %d rows without an assignment", i, sr.rows)
+			}
+			checkAssignment(t, i, p, sr)
+		default:
+			// The minimum equals the incumbent: no strict improvement is
+			// possible, so the search must leave the incumbent in place.
+			if sr.li != nil {
+				t.Fatalf("case %d: search claimed an improvement at the incumbent height", i)
+			}
+			if sr.rows != bruteHeight {
+				t.Fatalf("case %d: search rows %d, incumbent %d", i, sr.rows, bruteHeight)
+			}
+		}
+	}
+}
+
+// checkAssignment replays every constraint against a found assignment:
+// the search may only win with a legal schedule.
+func checkAssignment(t *testing.T, tc int, p *problem, sr searchResult) {
+	t.Helper()
+	n := len(p.ops)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := p.sep[i*n+j]; d != noSep && sr.li[j] < sr.li[i]+d {
+				t.Fatalf("case %d: separation %d->%d (min %d) violated: rows %d, %d",
+					tc, i, j, d, sr.li[i], sr.li[j])
+			}
+		}
+		for _, e := range p.neq[i] {
+			if sr.li[e] == sr.li[i] {
+				t.Fatalf("case %d: not-same-row pair %d,%d share row %d", tc, e, i, sr.li[i])
+			}
+		}
+	}
+	for r := 0; r < sr.rows; r++ {
+		var ops []int
+		cols := map[int32]bool{}
+		for i := 0; i < n; i++ {
+			if sr.li[i] == int32(r) {
+				ops = append(ops, i)
+				if cols[sr.col[i]] {
+					t.Fatalf("case %d: row %d assigns column %d twice", tc, r, sr.col[i])
+				}
+				cols[sr.col[i]] = true
+				if !p.cfg.SlotAccepts(int(sr.col[i]), p.ops[i].cls) {
+					t.Fatalf("case %d: row %d places op %d in incompatible column %d", tc, r, i, sr.col[i])
+				}
+			}
+		}
+		if !rowFits(p, ops) {
+			t.Fatalf("case %d: row %d overfull", tc, r)
+		}
+	}
+}
+
+// TestSearchBudgetDegrades checks that an exhausted node budget degrades
+// to the incumbent (or a better schedule found so far) without panicking
+// and reports the search unproven when it was cut short of proving.
+func TestSearchBudgetDegrades(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	sawUnproven := false
+	for i := 0; i < 60; i++ {
+		p := randomProblem(r, 2+r.Intn(6), 1+r.Intn(3), false)
+		full := p.search(bruteHeight, -1)
+		tight := p.search(bruteHeight, 1)
+		if tight.rows > bruteHeight {
+			t.Fatalf("case %d: budgeted search made the schedule worse", i)
+		}
+		if tight.rows < full.rows {
+			t.Fatalf("case %d: budgeted search beat the proven optimum (%d < %d)", i, tight.rows, full.rows)
+		}
+		if !tight.proven {
+			sawUnproven = true
+		}
+		if tight.li != nil {
+			checkAssignment(t, i, p, tight)
+		}
+	}
+	if !sawUnproven {
+		t.Fatal("a one-node budget never cut a search short")
+	}
+}

@@ -62,9 +62,42 @@ func DefaultConfigs() []NamedConfig {
 	}
 }
 
-// ConfigByName resolves one of the DefaultConfigs by name.
+// StrategyConfigs returns the machine configurations exercising the
+// non-default scheduling strategies (DESIGN.md §14): the optimal
+// repacker across the geometries the strategy-conformance suite proves
+// end-to-end (including multicycle latencies and the feasible machine's
+// heterogeneous functional units, the two hardest constraint mixes) and
+// the degenerate one-instruction-per-block reference.
+func StrategyConfigs() []NamedConfig {
+	opt := func(cfg core.Config) core.Config {
+		cfg.SchedStrategy = "optimal"
+		return cfg
+	}
+	multi := core.IdealConfig(8, 8)
+	multi.LoadLatency, multi.FPLatency, multi.FPDivLatency = 2, 2, 8
+
+	oneper := core.IdealConfig(8, 8)
+	oneper.SchedStrategy = "one-per-block"
+
+	return []NamedConfig{
+		{"optimal-4x4", opt(core.IdealConfig(4, 4))},
+		{"optimal-8x8", opt(core.IdealConfig(8, 8))},
+		{"optimal-16x16", opt(core.IdealConfig(16, 16))},
+		{"optimal-multicycle", opt(multi)},
+		{"optimal-feasible", opt(core.FeasibleConfig())},
+		{"one-per-block-8x8", oneper},
+	}
+}
+
+// AllConfigs returns every selectable configuration: the DefaultConfigs
+// sweep rotation plus the strategy variants.
+func AllConfigs() []NamedConfig {
+	return append(DefaultConfigs(), StrategyConfigs()...)
+}
+
+// ConfigByName resolves one of the AllConfigs by name.
 func ConfigByName(name string) (NamedConfig, bool) {
-	for _, nc := range DefaultConfigs() {
+	for _, nc := range AllConfigs() {
 		if nc.Name == name {
 			return nc, true
 		}
@@ -74,7 +107,7 @@ func ConfigByName(name string) (NamedConfig, bool) {
 
 // ConfigNames lists the selectable configuration names.
 func ConfigNames() []string {
-	cs := DefaultConfigs()
+	cs := AllConfigs()
 	names := make([]string, len(cs))
 	for i, nc := range cs {
 		names[i] = nc.Name

@@ -1,0 +1,121 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"dtsvliw/internal/core"
+	"dtsvliw/internal/sched"
+	"dtsvliw/internal/workloads"
+)
+
+// TestStrategyRegistry pins the registered strategy set: the conformance
+// matrix below must cover every strategy, so a new registration without
+// conformance coverage fails here first.
+func TestStrategyRegistry(t *testing.T) {
+	got := sched.StrategyNames()
+	want := []string{"fcfs", "one-per-block", "optimal"}
+	if len(got) != len(want) {
+		t.Fatalf("registered strategies %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered strategies %v, want %v", got, want)
+		}
+	}
+	covered := map[string]bool{"fcfs": true} // DefaultConfigs all run fcfs
+	for _, nc := range StrategyConfigs() {
+		covered[nc.Cfg.SchedStrategy] = true
+	}
+	for _, name := range got {
+		if !covered[name] {
+			t.Errorf("strategy %q has no StrategyConfigs entry: not covered by the conformance suite", name)
+		}
+	}
+}
+
+// TestStrategyConformance drives every strategy configuration through the
+// differential oracle with block verification: generated programs run on
+// the machine in lockstep against the sequential reference, and every
+// block the scheduler saves must pass the static block-legality checker.
+// Zero divergences and zero verifier violations are required — for the
+// optimal strategy this proves the repacked schedules are legal and
+// executable end-to-end, not just internally consistent.
+func TestStrategyConformance(t *testing.T) {
+	n := 24
+	if testing.Short() {
+		n = 8
+	}
+	for _, nc := range StrategyConfigs() {
+		nc := nc
+		t.Run(nc.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := Sweep(SweepOptions{
+				N: n, Seed: 7000,
+				Configs:      []NamedConfig{nc},
+				MaxFail:      3,
+				VerifyBlocks: true,
+			})
+			for i := range rep.Failures {
+				t.Errorf("%s", rep.Failures[i].Render())
+			}
+			if rep.Instret == 0 {
+				t.Errorf("conformance sweep executed no instructions")
+			}
+		})
+	}
+}
+
+// TestStrategyWorkloadMatrix runs every registered strategy over the full
+// workload suite with the lockstep test machine and block verification
+// enabled. Each workload validates its own final state, so a strategy
+// that corrupts execution fails three independent checks: blockcheck,
+// the lockstep comparison, and the workload's Go reference model.
+func TestStrategyWorkloadMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload matrix: run without -short")
+	}
+	for _, name := range sched.StrategyNames() {
+		for _, w := range workloads.All() {
+			name, w := name, w
+			t.Run(fmt.Sprintf("%s/%s", name, w.Name), func(t *testing.T) {
+				t.Parallel()
+				cfg := core.IdealConfig(8, 8)
+				cfg.SchedStrategy = name
+				cfg.VerifyBlocks = true
+				cfg.TestMode = true
+				cfg.MaxInstrs = 150_000
+				st, err := w.NewState(cfg.NWin)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := core.NewMachine(cfg, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Run(); err != nil {
+					t.Fatalf("strategy %s on %s: %v", name, w.Name, err)
+				}
+				if st.Halted {
+					if err := w.Validate(st); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestUnknownStrategyFails pins the failure mode of a misspelt strategy
+// name: NewMachine must reject it with the registered names in the error.
+func TestUnknownStrategyFails(t *testing.T) {
+	cfg := core.IdealConfig(8, 8)
+	cfg.SchedStrategy = "optimist"
+	st, err := workloads.All()[0].NewState(cfg.NWin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.NewMachine(cfg, st); err == nil {
+		t.Fatal("NewMachine accepted unknown strategy name")
+	}
+}

@@ -55,6 +55,7 @@ type renEntry struct {
 // instruction).
 type Scheduler struct {
 	cfg    Config
+	strat  Strategy // placement policy (Config.Strategy; FCFS by default)
 	maxLat int
 	nPhys  int        // physical integer registers (rename-table geometry)
 	elems  []*element // index 0 is the scheduling-list head
@@ -134,8 +135,13 @@ func New(cfg Config) (*Scheduler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	strat, err := newStrategy(cfg)
+	if err != nil {
+		return nil, err
+	}
 	u := &Scheduler{
 		cfg:          cfg,
+		strat:        strat,
 		maxLat:       cfg.MaxLatency(),
 		nPhys:        isa.NumPhysRegs(cfg.NWin),
 		conservative: make(map[uint64]bool),
@@ -891,6 +897,12 @@ func (u *Scheduler) Insert(c Completed) (*Block, error) {
 	var flushed *Block
 	var cand *Slot
 
+	if len(u.elems) > 0 && u.strat.WantFlushBefore(u, &c) {
+		// Strategy-requested early flush (degenerate strategies like
+		// one-per-block): the candidate starts a fresh block below.
+		flushed = u.flush(c.Addr, c.Seq)
+	}
+
 	if len(u.elems) == 0 {
 		// Rename bindings never cross blocks: start the block first so the
 		// slot is built against the fresh (empty) rename table.
@@ -899,7 +911,10 @@ func (u *Scheduler) Insert(c Completed) (*Block, error) {
 	} else {
 		cand = u.buildSlot(c)
 		tail := u.elems[len(u.elems)-1]
-		if u.needsNewElement(cand, tail) {
+		// The strategy is consulted only when the legality machinery has
+		// proven the tail can hold the candidate (short-circuit): it may
+		// open a new element anyway, but never prevent a forced one.
+		if u.needsNewElement(cand, tail) || u.strat.WantNewElement(u) {
 			if len(u.elems) >= u.cfg.Height {
 				flushed = u.flush(c.Addr, c.Seq)
 				u.startBlock(c)
@@ -984,6 +999,12 @@ func (u *Scheduler) moveUp(cand *Slot, elemIdx, slotIdx int) {
 			u.freeSlot(prev, cand.Inst.Class()) < 0 ||
 			u.memSerialized(cand, prev) ||
 			u.wawCopyUnsafe(cand, elemIdx) {
+			break
+		}
+
+		// The move is legal; the strategy decides whether to take it (the
+		// FCFS hardware always does).
+		if !u.strat.WantMoveUp(u, elemIdx) {
 			break
 		}
 
@@ -1127,6 +1148,9 @@ func (u *Scheduler) flush(nbaAddr uint32, endSeq uint64) *Block {
 		b.Trace = u.trace
 		u.trace = nil
 	}
+	// The strategy sees (and may rewrite) the finished block before flush
+	// statistics and telemetry record its shape.
+	u.strat.FinishBlock(u, b)
 	u.Stats.BlocksFlushed++
 	u.Stats.FlushedLIs += uint64(b.NumLIs)
 	u.Stats.FlushedSlots += uint64(b.ValidOps)

@@ -298,6 +298,16 @@ type Config struct {
 	FUs  []isa.FUClass
 	NWin int // register windows (physical register resolution)
 
+	// Strategy selects the placement policy by registry name (see
+	// RegisterStrategy); empty selects DefaultStrategy, the paper's FCFS
+	// hardware algorithm. New fails on unregistered names.
+	Strategy string
+
+	// StrategyBudget bounds the work of search-based strategies (the
+	// branch-and-bound node budget of the optimal repacker); zero selects
+	// the strategy's default. Ignored by strategies that do not search.
+	StrategyBudget int
+
 	// NoForwarding disables the rewrite of consumers' source operands to
 	// renaming registers (paper Figure 2's "subcc r32"). Ablation only:
 	// consumers then wait for copy instructions, re-serialising every
@@ -452,6 +462,16 @@ type Stats struct {
 	FlushedSlots   uint64 // valid ops in flushed blocks
 	MaxRenames     [NumRenameClasses]uint16
 	ConservativeBl uint64
+
+	// Repacking statistics (strategies rewriting blocks in FinishBlock;
+	// zero under the default FCFS strategy). RepackSavedLIs accumulates
+	// the long instructions removed versus the FCFS schedule; RepackProven
+	// counts blocks whose repack was proven optimal (search completed
+	// within the node budget); RepackNodes sums search nodes visited.
+	RepackedBlocks uint64
+	RepackSavedLIs uint64
+	RepackProven   uint64
+	RepackNodes    uint64
 }
 
 // SlotUtilisation returns valid slots over total slot capacity of flushed

@@ -158,6 +158,12 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		case EvVCacheMiss:
 			out.TraceEvents = append(out.TraceEvents,
 				instant("vcache-miss", e.Cycle, map[string]any{"addr": hex(e.Addr)}))
+		case EvSchedGap:
+			out.TraceEvents = append(out.TraceEvents,
+				instant("sched-gap", e.Cycle, map[string]any{
+					"block": hex(e.Addr), "fcfsLIs": e.Aux >> 16, "optLIs": e.Aux & 0xffff,
+					"proven": e.Aux2 == 1,
+				}))
 		}
 	}
 	closeOcc(end)

@@ -23,6 +23,13 @@ type BlockProf struct {
 	ValidOps int      // occupied slots
 	ColOcc   []uint32 // occupied slots per slot column
 
+	// Scheduling-gap annotation from the most recent repack (zero when no
+	// repacking strategy ran): the FCFS schedule's length, the repacked
+	// length, and whether the repack was proven optimal.
+	FCFSLIs   int
+	OptLIs    int
+	GapProven bool
+
 	// Exit-PC histogram: where trace exits resumed sequential execution.
 	// Most blocks have a handful of distinct exit targets, so the hot
 	// path is a move-to-front slice scan; the rare exit-diverse block

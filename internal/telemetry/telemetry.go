@@ -43,6 +43,7 @@ const (
 	EvICacheMiss            // Addr = instruction address
 	EvDCacheMiss            // Addr = data address
 	EvVCacheMiss            // Addr = probe address
+	EvSchedGap              // Addr = block tag, Aux = FCFS LIs<<16 | repacked LIs, Aux2 = proven
 	NumKinds
 )
 
@@ -78,6 +79,8 @@ func (k Kind) String() string {
 		return "dcache-miss"
 	case EvVCacheMiss:
 		return "vcache-miss"
+	case EvSchedGap:
+		return "sched-gap"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -348,6 +351,24 @@ func (c *Collector) Split(addr uint32) {
 func (c *Collector) BlockFlushed(numLIs int, inserted uint64) {
 	c.BlockLen.Add(uint64(numLIs))
 	c.Residency.Add(inserted)
+}
+
+// SchedGap records a scheduling strategy repacking the block tagged tag
+// at flush time: the FCFS schedule held fcfsLIs long instructions, the
+// repacked one holds optLIs; proven says the search completed (versus
+// best-found under an exhausted node budget). The per-block gap lands in
+// the block's profile, so the hot-block report can show which blocks
+// FCFS schedules well and which it leaves long.
+func (c *Collector) SchedGap(tag uint32, fcfsLIs, optLIs int, proven bool) {
+	var p uint8
+	if proven {
+		p = 1
+	}
+	c.record(EvSchedGap, tag, uint32(fcfsLIs)<<16|uint32(optLIs), p)
+	bp := c.profile(tag)
+	bp.FCFSLIs = fcfsLIs
+	bp.OptLIs = optLIs
+	bp.GapProven = proven
 }
 
 // --- Engine hooks (vliw) ----------------------------------------------
