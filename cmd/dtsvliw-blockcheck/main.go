@@ -11,6 +11,7 @@
 // Examples:
 //
 //	dtsvliw-blockcheck -workload all
+//	dtsvliw-blockcheck -workload all -par 0
 //	dtsvliw-blockcheck -workload gcc -configs feasible,multicycle
 //	dtsvliw-blockcheck -file prog.s -configs ideal-8x8 -json
 package main
@@ -21,7 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"dtsvliw/internal/arch"
 	"dtsvliw/internal/core"
@@ -35,6 +39,7 @@ func main() {
 		file     = flag.String("file", "", "SPARC V7 assembly file to check instead of a workload")
 		configs  = flag.String("configs", "", "comma-separated machine configurations (default: all)")
 		max      = flag.Uint64("max", 0, "stop each run after N sequential instructions (0 = run to halt)")
+		par      = flag.Int("par", 1, "run the workload x config matrix on this many workers (0 = one per CPU; output order is unchanged)")
 		asJSON   = flag.Bool("json", false, "print violation reports as JSON")
 		verbose  = flag.Bool("v", false, "print a line per run")
 	)
@@ -75,40 +80,83 @@ func main() {
 		os.Exit(2)
 	}
 
-	var totalBlocks, totalRuns uint64
-	failed := false
+	// The run x config matrix: every cell is independent, so cells are
+	// fanned out over workers and their results printed strictly in
+	// matrix order — the output is byte-identical for any -par value.
+	type job struct {
+		r  run
+		nc oracle.NamedConfig
+	}
+	var jobs []job
 	for _, r := range runs {
 		for _, nc := range configList {
-			cfg := nc.Cfg
-			cfg.VerifyBlocks = true
-			cfg.MaxInstrs = *max
-			verified, err := r.check(cfg)
-			totalRuns++
-			totalBlocks += verified
-			if err == nil {
-				if *verbose {
-					fmt.Printf("ok   %-10s %-12s %d blocks verified\n", r.name, nc.Name, verified)
+			jobs = append(jobs, job{r: r, nc: nc})
+		}
+	}
+	results := make([]cellResult, len(jobs))
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt32(&next, 1)) - 1
+				if i >= len(jobs) {
+					return
 				}
-				continue
+				cfg := jobs[i].nc.Cfg
+				cfg.VerifyBlocks = true
+				cfg.MaxInstrs = *max
+				verified, err := jobs[i].r.check(cfg)
+				results[i] = cellResult{verified: verified, err: err}
 			}
-			failed = true
-			var ve *core.BlockVerifyError
-			if errors.As(err, &ve) {
-				fmt.Printf("FAIL %s under %s: illegal block\n", r.name, nc.Name)
-				if *asJSON {
-					printJSON(ve)
-				} else {
-					fmt.Println(ve.Report)
-				}
+		}()
+	}
+	wg.Wait()
+
+	var totalBlocks, totalRuns uint64
+	failed := false
+	for i, res := range results {
+		r, nc := jobs[i].r, jobs[i].nc
+		totalRuns++
+		totalBlocks += res.verified
+		if res.err == nil {
+			if *verbose {
+				fmt.Printf("ok   %-10s %-12s %d blocks verified\n", r.name, nc.Name, res.verified)
+			}
+			continue
+		}
+		failed = true
+		var ve *core.BlockVerifyError
+		if errors.As(res.err, &ve) {
+			fmt.Printf("FAIL %s under %s: illegal block\n", r.name, nc.Name)
+			if *asJSON {
+				printJSON(ve)
 			} else {
-				fmt.Printf("FAIL %s under %s: %v\n", r.name, nc.Name, err)
+				fmt.Println(ve.Report)
 			}
+		} else {
+			fmt.Printf("FAIL %s under %s: %v\n", r.name, nc.Name, res.err)
 		}
 	}
 	fmt.Printf("blockcheck: %d runs, %d blocks verified\n", totalRuns, totalBlocks)
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// cellResult is the outcome of one (run, config) matrix cell.
+type cellResult struct {
+	verified uint64
+	err      error
 }
 
 // run is one program to push through the machine with verification on.

@@ -26,6 +26,11 @@ var defaultTargets = []string{
 	"dtsvliw/internal/stats",
 	"dtsvliw/internal/experiments",
 	"dtsvliw/internal/optsched",
+	// The conformance sweep's report must be byte-identical for any
+	// worker count and across context reuse, so the oracle and the
+	// pooled machine contexts are held to the same standard.
+	"dtsvliw/internal/oracle",
+	"dtsvliw/internal/core",
 }
 
 func main() {

@@ -17,6 +17,11 @@
 // comparison:
 //
 //	dtsvliw-oracle -n 2000 -engines
+//
+// -par fans the sweep out over worker goroutines with per-worker machine
+// pools; the report is byte-identical for every worker count:
+//
+//	dtsvliw-oracle -n 10000 -par 0
 package main
 
 import (
@@ -41,6 +46,9 @@ func main() {
 		replay  = flag.Int64("replay", -1, "replay a single seed (use with -shapes/-configs to pin the case)")
 		engines = flag.Bool("engines", false, "lock-step the lowered VLIW Engine against the interpreted engine instead of the sequential reference")
 		verifyB = flag.Bool("verify-blocks", false, "statically verify the legality of every block the scheduler saves (internal/blockcheck)")
+		par     = flag.Int("par", 1, "sweep workers (0 = one per CPU; results are identical for any worker count)")
+		noReuse = flag.Bool("noreuse", false, "rebuild every machine from scratch instead of reusing pooled contexts (slower; identical results)")
+		ff      = flag.Uint64("fast-forward", 0, "execute the first N instructions of every program at interpreter speed before cycle-accurate simulation")
 		verbose = flag.Bool("v", false, "print per-run progress")
 	)
 	flag.Usage = func() {
@@ -71,6 +79,9 @@ func main() {
 		ShrinkEvals:  *shrink,
 		EngineDiff:   *engines,
 		VerifyBlocks: *verifyB,
+		Workers:      *par,
+		NoReuse:      *noReuse,
+		FastForward:  *ff,
 	}
 	if *replay >= 0 {
 		// Replay mode: exactly one program, the given seed, first listed

@@ -11,6 +11,7 @@
 //	            [-bench-out BENCH_SCHED.json] [-bench-interpreted]
 //	            [-bench-telemetry] [-bench-overhead-gate PCT]
 //	            [-bench-diff OLD.json,NEW.json] [-bench-gate PCT]
+//	            [-sweep-gate]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -bench-diff compares two benchmark reports entry by entry (ns/instr and
@@ -23,7 +24,10 @@
 // enabled-side report. -bench-overhead-gate measures the machine rows
 // telemetry-off and telemetry-on with interleaved reps in this one
 // process (robust to host drift) and exits nonzero when enabling
-// telemetry costs any row more than PCT percent ns/instr. -profile
+// telemetry costs any row more than PCT percent ns/instr. -sweep-gate
+// measures the oracle sweep-throughput rows (programs/sec, serial-noreuse
+// vs serial-pooled vs parallel) and exits nonzero when the pooled or
+// parallel paths fall below their speedup contract. -profile
 // prints full per-workload hot-block and histogram telemetry dumps
 // after the requested experiment tables (the "profile" experiment
 // prints the one-line-per-workload summary table).
@@ -63,6 +67,8 @@ func main() {
 		"compare two benchmark reports: OLD.json,NEW.json (skips -run)")
 	benchGate := flag.Float64("bench-gate", 0,
 		"with -bench-diff: fail if any machine entry's ns/instr regressed by more than this percent")
+	sweepGate := flag.Bool("sweep-gate", false,
+		"measure the oracle sweep-throughput rows and enforce the pooled/parallel speedup contract (skips -run)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
@@ -144,6 +150,26 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "bench gate passed (threshold %+.1f%% ns/instr on machine entries)\n", *benchGate)
 		}
+		return
+	}
+
+	if *sweepGate {
+		entries, err := experiments.BenchSweep(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep-gate: %v\n", err)
+			exit(1)
+			return
+		}
+		for _, e := range entries {
+			fmt.Printf("sweep %-16s %d workers  %8.0f programs/sec  %6.1f ns/instr  %6.3f allocs/instr\n",
+				e.Config, e.Workers, e.ProgramsPerSec, e.NsPerInstr, e.AllocsPerInstr)
+		}
+		if err := experiments.GateSweepEntries(entries); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			exit(1)
+			return
+		}
+		fmt.Fprintln(os.Stderr, "sweep gate passed (pooled >= 1.05x noreuse; parallel scaling checked when CPUs allow)")
 		return
 	}
 

@@ -66,10 +66,43 @@ func NewState(nwin int, m *mem.Memory) *State {
 	}
 }
 
+// Reset returns the state to power-on over the same memory object:
+// registers, condition codes, PC, halt/exit state, output stream, retired
+// count and store journal are cleared. The memory contents and the
+// decoded-instruction cache are left to the caller (reload the program,
+// then call SetTextRange, which reuses the cache's storage). Reusing a
+// reset state is observationally identical to building a fresh one.
+func (s *State) Reset() {
+	clear(s.Regs)
+	s.F = [32]uint32{}
+	s.icc, s.fcc, s.y, s.cwp = 0, 0, 0, 0
+	s.PC = 0
+	s.Halted = false
+	s.ExitCode = 0
+	s.Output = s.Output[:0]
+	s.Instret = 0
+	s.LogStores = false
+	s.StoreLog = s.StoreLog[:0]
+}
+
 // SetTextRange installs a decoded-instruction cache over [base, base+size).
-// Self-modifying code is not supported.
+// Self-modifying code is not supported. Installing a new range over a
+// state whose previous cache has enough capacity reuses its storage.
 func (s *State) SetTextRange(base, size uint32) {
-	s.dec = &decodeCache{base: base, insts: make([]isa.Inst, size/4), ok: make([]bool, size/4)}
+	n := int(size / 4)
+	if d := s.dec; d != nil && cap(d.insts) >= n {
+		d.base = base
+		d.insts = d.insts[:n]
+		d.ok = d.ok[:n]
+		for i := range d.ok {
+			d.ok[i] = false
+		}
+		if len(d.extra) > 0 {
+			clear(d.extra)
+		}
+		return
+	}
+	s.dec = &decodeCache{base: base, insts: make([]isa.Inst, n), ok: make([]bool, n)}
 }
 
 type decodeCache struct {
@@ -272,7 +305,11 @@ func (s *State) Clone() *State {
 	c.Mem = s.Mem.Snapshot()
 	c.Output = append([]byte(nil), s.Output...)
 	c.StoreLog = nil
-	c.dec = s.dec // decode cache is immutable per text segment; sharing is safe
+	// The decode cache is append-only between SetTextRange calls, so
+	// sharing is safe as long as the clone does not outlive the next
+	// SetTextRange on the original (pooled reuse never clones: TestMode
+	// configurations bypass the machine pool).
+	c.dec = s.dec
 	return &c
 }
 

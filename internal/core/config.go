@@ -127,6 +127,17 @@ type Config struct {
 	// safety limit.
 	MaxInstrs uint64
 	MaxCycles uint64
+
+	// FastForward executes the first N sequential instructions on the
+	// plain interpreter before cycle-accurate simulation begins: no
+	// scheduling, no caches, no pipeline pricing, no cycles charged. It
+	// skips measurement past a warmup prefix (program initialisation)
+	// at interpreter speed. The fast-forwarded prefix still counts
+	// toward MaxInstrs and is reported in Stats.FastForwarded; IPC then
+	// covers only the measured region. Ignored in TestMode beyond a
+	// single aggregate checkpoint (the lockstep reference is advanced
+	// by the same prefix).
+	FastForward uint64
 }
 
 // Validate checks the configuration.

@@ -62,6 +62,13 @@ type Machine struct {
 	effReads  []isa.Loc
 	effWrites []isa.Loc
 
+	// whereMemo caches the per-PC checkpoint descriptions of the Primary
+	// Processor fast path ("primary pc=..."), which would otherwise be
+	// formatted once per instruction whenever a CheckpointHook or the
+	// test machine observes them. An entry is a pure function of the PC,
+	// so the memo survives Reset and stays valid across pooled reuse.
+	whereMemo map[uint32]string
+
 	// tel is the telemetry collector (nil when disabled; every hook site
 	// is nil-guarded). telCols is a scratch buffer for per-column slot
 	// occupancy at block-save time.
@@ -281,6 +288,11 @@ func (m *Machine) beginBlock(ent vcache.Entry) {
 // Run executes until the program halts, MaxInstrs sequential instructions
 // are covered, or an error (program fault, test-machine mismatch) occurs.
 func (m *Machine) Run() error {
+	if m.cfg.FastForward > 0 && m.seq == 0 {
+		if err := m.fastForward(); err != nil {
+			return err
+		}
+	}
 	for !m.St.Halted {
 		if m.cfg.MaxCycles > 0 && m.Stats.Cycles >= m.cfg.MaxCycles {
 			return fmt.Errorf("core: cycle limit %d reached", m.cfg.MaxCycles)
@@ -306,6 +318,29 @@ func (m *Machine) Run() error {
 		}
 	}
 	return nil
+}
+
+// fastForward executes the Config.FastForward warmup prefix on the plain
+// sequential interpreter: no VLIW Cache probes, no scheduling, no cache or
+// pipeline pricing, no cycles charged. The prefix counts toward MaxInstrs.
+// The lockstep test machine (if any) is advanced by the whole prefix and
+// compared once, and the CheckpointHook observes a single aggregate
+// checkpoint, so external reference interpreters stay synchronised.
+func (m *Machine) fastForward() error {
+	n := m.cfg.FastForward
+	if m.cfg.MaxInstrs > 0 && n > m.cfg.MaxInstrs {
+		n = m.cfg.MaxInstrs
+	}
+	var done uint64
+	for done < n && !m.St.Halted {
+		if _, _, err := m.St.StepOutcome(); err != nil {
+			return err
+		}
+		done++
+	}
+	m.seq += done
+	m.Stats.FastForwarded = done
+	return m.syncRef(done, m.St.PC, "fast-forward")
 }
 
 func (m *Machine) harvestStats() {
@@ -402,16 +437,30 @@ func (m *Machine) stepPrimary() error {
 		if err := m.Ref.Step(); err != nil {
 			return fmt.Errorf("core: test machine: %w", err)
 		}
-		if err := m.compare(fmt.Sprintf("primary pc=%#08x", pc)); err != nil {
+		if err := m.compare(m.primaryWhere(pc)); err != nil {
 			return err
 		}
 	}
 	if m.CheckpointHook == nil {
-		// Skip the checkpoint description formatting on the per-instruction
+		// Skip the checkpoint description lookup on the per-instruction
 		// fast path when nobody observes it.
 		return nil
 	}
-	return m.notifyCheckpoint(1, m.St.PC, fmt.Sprintf("primary pc=%#08x", pc))
+	return m.notifyCheckpoint(1, m.St.PC, m.primaryWhere(pc))
+}
+
+// primaryWhere returns the memoized checkpoint description of a Primary
+// Processor step at pc.
+func (m *Machine) primaryWhere(pc uint32) string {
+	if w, ok := m.whereMemo[pc]; ok {
+		return w
+	}
+	if m.whereMemo == nil {
+		m.whereMemo = make(map[uint32]string)
+	}
+	w := fmt.Sprintf("primary pc=%#08x", pc)
+	m.whereMemo[pc] = w
+	return w
 }
 
 // stepVLIW executes one long instruction on the VLIW Engine.
@@ -647,6 +696,39 @@ func (m *Machine) finalCompare() error {
 			Diff: fmt.Sprintf("memory differs at %#08x", addr)}
 	}
 	return nil
+}
+
+// Reset returns the machine to its post-NewMachine state so it can run
+// another program over the same (caller-reset and reloaded) architectural
+// state: scheduler, VLIW Cache, engine, instruction/data caches and
+// pipeline are cleared, drained blocks are recycled into the scheduler's
+// block pool, hooks are detached and Stats are zeroed. The architectural
+// state itself (registers, memory, program) is the caller's to reset —
+// see MachineContext. Reset does not support TestMode or telemetry
+// machines (the reference clone and collectors are built for one run);
+// MachinePool refuses such configurations.
+func (m *Machine) Reset() {
+	m.vc.Drain(func(ent vcache.Entry) { m.sch.RecycleBlock(ent.Blk) })
+	m.sch.Reset()
+	m.eng.Reset()
+	m.ic.Reset()
+	m.dc.Reset()
+	m.pipe.Reset()
+	m.mode = ModePrimary
+	if len(m.predictor) > 0 {
+		clear(m.predictor)
+	}
+	m.vpc = sched.LongAddr{}
+	m.seq = 0
+	m.drain = 0
+	m.skipProbe = false
+	m.excBudget = 0
+	m.pendingExcErr = nil
+	m.journal = m.journal[:0]
+	m.Ref = nil
+	m.BlockHook = nil
+	m.CheckpointHook = nil
+	m.Stats = Stats{}
 }
 
 // RefInstret returns the test machine's instruction count (the paper's

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"dtsvliw/internal/arch"
+	"dtsvliw/internal/mem"
+)
+
+// MachineContext bundles one architectural state with one DTSVLIW machine
+// over it, so the pair can be reset and reused across program runs instead
+// of being rebuilt per run (machine construction — VLIW Cache line array,
+// scheduler tables, cache tag stores — dominates the allocation profile of
+// short differential runs). The lifecycle per run is:
+//
+//	ctx := pool.Get(cfg)          // or NewMachineContext(cfg)
+//	load program into ctx.State() // sections, stack, PC, text range
+//	m, err := ctx.Prepare()       // warm machine, built on first use
+//	m.Run()
+//	pool.Put(ctx)                 // resets state+machine, shelves context
+//
+// The machine is built lazily at Prepare, after the program is loaded,
+// because TestMode clones the architectural state at construction time.
+type MachineContext struct {
+	cfg    Config
+	st     *arch.State
+	m      *Machine
+	pooled bool
+}
+
+// Poolable reports whether cfg supports context reuse. TestMode machines
+// clone the state at construction and telemetry collectors accumulate for
+// exactly one run, so both are built one-shot; everything else resets.
+func Poolable(cfg Config) bool {
+	return !cfg.TestMode && cfg.Telemetry == nil
+}
+
+// NewMachineContext builds a fresh context for cfg: an empty architectural
+// state (no program loaded) and a machine deferred to Prepare.
+func NewMachineContext(cfg Config) (*MachineContext, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &MachineContext{
+		cfg:    cfg,
+		st:     arch.NewState(cfg.NWin, mem.NewMemory()),
+		pooled: Poolable(cfg),
+	}, nil
+}
+
+// State returns the context's architectural state, for program loading.
+// After Get/NewMachineContext it is observationally a fresh state over a
+// fresh memory.
+func (c *MachineContext) State() *arch.State { return c.st }
+
+// Config returns the configuration the context was built for.
+func (c *MachineContext) Config() Config { return c.cfg }
+
+// Prepare returns the context's machine, building it on first use (and on
+// every use for non-poolable configurations, whose machines are one-shot).
+// Call it after the program has been loaded into State.
+func (c *MachineContext) Prepare() (*Machine, error) {
+	if c.m != nil && c.pooled {
+		return c.m, nil
+	}
+	m, err := NewMachine(c.cfg, c.st)
+	if err != nil {
+		return nil, err
+	}
+	if c.pooled {
+		c.m = m
+	}
+	return m, nil
+}
+
+// Recycle resets the context for another run: the architectural state
+// returns to power-on, the memory unmaps every page into its free list,
+// and the machine (if built) resets. A no-op for non-poolable contexts.
+func (c *MachineContext) Recycle() {
+	if !c.pooled {
+		return
+	}
+	c.st.Reset()
+	c.st.Mem.Recycle()
+	if c.m != nil {
+		c.m.Reset()
+	}
+}
+
+// MachinePool hands out warm MachineContexts keyed by configuration. It
+// is NOT safe for concurrent use: parallel drivers keep one pool per
+// worker, which also keeps runs deterministic (a context's allocation
+// history never depends on sibling workers).
+type MachinePool struct {
+	free map[string][]*MachineContext
+
+	// Hits counts Gets served by a recycled context, Misses those that
+	// built a fresh one (non-poolable configurations always miss).
+	Hits, Misses uint64
+}
+
+// NewMachinePool builds an empty pool.
+func NewMachinePool() *MachinePool {
+	return &MachinePool{free: make(map[string][]*MachineContext)}
+}
+
+// Get returns a context for cfg, recycling a shelved one when available.
+func (p *MachinePool) Get(cfg Config) (*MachineContext, error) {
+	key := poolKey(cfg)
+	if list := p.free[key]; len(list) > 0 {
+		c := list[len(list)-1]
+		list[len(list)-1] = nil
+		p.free[key] = list[:len(list)-1]
+		p.Hits++
+		return c, nil
+	}
+	p.Misses++
+	return NewMachineContext(cfg)
+}
+
+// Put recycles a context back into the pool. Non-poolable contexts (and
+// nil) are dropped.
+func (p *MachinePool) Put(c *MachineContext) {
+	if c == nil || !c.pooled {
+		return
+	}
+	c.Recycle()
+	key := poolKey(c.cfg)
+	p.free[key] = append(p.free[key], c)
+}
+
+// poolKey fingerprints a configuration. Two configs with equal keys build
+// machines with identical geometry and behaviour, so their contexts are
+// interchangeable. The fingerprint is the printed struct: Config is a
+// value type whose only pointer field (Telemetry) is nil for every
+// poolable config.
+func poolKey(cfg Config) string { return fmt.Sprintf("%+v", cfg) }

@@ -16,6 +16,11 @@ type Stats struct {
 
 	Retired uint64 // sequential instructions covered (the IPC numerator)
 
+	// FastForwarded counts the warmup prefix executed at interpreter
+	// speed under Config.FastForward: included in Retired, charged no
+	// cycles.
+	FastForwarded uint64
+
 	Switches           uint64 // engine handovers (both directions)
 	BlocksSaved        uint64
 	BlocksVerified     uint64 // blocks proven legal at save time (VerifyBlocks)

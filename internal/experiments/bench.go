@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"dtsvliw/internal/arch"
@@ -11,6 +12,7 @@ import (
 	"dtsvliw/internal/core"
 	"dtsvliw/internal/isa"
 	"dtsvliw/internal/mem"
+	"dtsvliw/internal/oracle"
 	"dtsvliw/internal/progen"
 	"dtsvliw/internal/sched"
 	"dtsvliw/internal/workloads"
@@ -26,28 +28,37 @@ import (
 
 // BenchEntry is one measured row of the benchmark matrix.
 type BenchEntry struct {
-	// Kind is "machine" (full DTSVLIW simulation of a workload) or
+	// Kind is "machine" (full DTSVLIW simulation of a workload),
 	// "sched-feed" (pre-recorded trace replayed through the Scheduler
-	// Unit alone, mirroring BenchmarkSchedulerFeed).
+	// Unit alone, mirroring BenchmarkSchedulerFeed), or "sweep" (an
+	// oracle conformance sweep measured end to end — the co-simulation
+	// throughput the machine pool and parallel fan-out exist to raise).
 	Kind   string `json:"kind"`
 	Name   string `json:"name"`   // workload or progen shape
 	Config string `json:"config"` // configuration label
 	Seed   int64  `json:"seed,omitempty"`
 	Instrs uint64 `json:"instrs"` // simulated instructions measured over
 
+	// Workers is the sweep worker count a "sweep" row was measured at
+	// (0 for the serial kinds). Throughput at different worker counts is
+	// not comparable, so the diff gate keys on it.
+	Workers int `json:"workers,omitempty"`
+
 	IPC            float64 `json:"ipc,omitempty"` // simulated IPC (machine runs)
 	NsPerInstr     float64 `json:"ns_per_instr"`
 	AllocsPerInstr float64 `json:"allocs_per_instr"`
 	BytesPerInstr  float64 `json:"bytes_per_instr"`
+	ProgramsPerSec float64 `json:"programs_per_sec,omitempty"` // sweep rows
 }
 
 // BenchReport is the top-level BENCH_SCHED.json document.
 type BenchReport struct {
-	GoVersion string       `json:"go_version"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	NumCPU    int          `json:"num_cpu"`
-	Entries   []BenchEntry `json:"entries"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GoMaxProcs int          `json:"gomaxprocs,omitempty"`
+	Entries    []BenchEntry `json:"entries"`
 }
 
 // measure runs f once and reports wall time and heap allocation. Runs are
@@ -97,10 +108,11 @@ const benchMachineReps = 3
 // per-run numbers.
 func BenchSched(o Options) (*BenchReport, error) {
 	rep := &BenchReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, w := range workloads.All() {
 		for _, mc := range benchMachineConfigs() {
@@ -149,7 +161,131 @@ func BenchSched(o Options) (*BenchReport, error) {
 				shape, seed, entry.NsPerInstr, entry.AllocsPerInstr)
 		}
 	}
+	sweeps, err := BenchSweep(o)
+	if err != nil {
+		return nil, err
+	}
+	rep.Entries = append(rep.Entries, sweeps...)
 	return rep, nil
+}
+
+// benchSweepN is the programs per measured sweep: large enough that the
+// pool reaches steady state and per-program noise averages out, small
+// enough for the CI smoke job.
+const benchSweepN = 400
+
+const benchSweepReps = 2
+
+// benchSweepVariants is the fixed sweep-throughput matrix: the serial
+// rebuild-everything baseline, the serial pooled path (context reuse in
+// isolation), and the pooled path at one worker per CPU. On a single-CPU
+// host the parallel row still exercises the fan-out machinery at one
+// worker; its Workers field keeps it from being compared against a
+// multi-CPU baseline.
+func benchSweepVariants() []struct {
+	label   string
+	workers int
+	noReuse bool
+} {
+	return []struct {
+		label   string
+		workers int
+		noReuse bool
+	}{
+		{"serial-noreuse", 1, true},
+		{"serial-pooled", 1, false},
+		{"parallel", runtime.GOMAXPROCS(0), false},
+	}
+}
+
+// BenchSweep measures the oracle co-simulation throughput rows
+// (programs/sec over a fixed conformance sweep) — the tentpole metric of
+// the pooled-context work. Any divergence during measurement is a hard
+// error: a perf run must never paper over a conformance failure.
+func BenchSweep(o Options) ([]BenchEntry, error) {
+	var out []BenchEntry
+	for _, v := range benchSweepVariants() {
+		opts := oracle.SweepOptions{
+			N: benchSweepN, Seed: 1,
+			Workers: v.workers, NoReuse: v.noReuse,
+		}
+		var best BenchEntry
+		for rep := 0; rep < benchSweepReps; rep++ {
+			var sr *oracle.Report
+			elapsed, allocs, bytes, err := measure(func() error {
+				sr = oracle.Sweep(opts)
+				if len(sr.Failures) > 0 {
+					return fmt.Errorf("%d divergences (first: %s)",
+						len(sr.Failures), sr.Failures[0].Render())
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench sweep %s: %w", v.label, err)
+			}
+			e := BenchEntry{
+				Kind: "sweep", Name: "oracle", Config: v.label,
+				Workers: v.workers, Instrs: sr.Instret,
+				NsPerInstr:     float64(elapsed.Nanoseconds()) / float64(sr.Instret),
+				AllocsPerInstr: float64(allocs) / float64(sr.Instret),
+				BytesPerInstr:  float64(bytes) / float64(sr.Instret),
+				ProgramsPerSec: float64(sr.Runs) / elapsed.Seconds(),
+			}
+			if rep == 0 || e.ProgramsPerSec > best.ProgramsPerSec {
+				best = e
+			}
+		}
+		out = append(out, best)
+		o.note("bench sweep %s (%d workers): %.0f programs/sec %.0f ns/instr",
+			v.label, best.Workers, best.ProgramsPerSec, best.NsPerInstr)
+	}
+	return out, nil
+}
+
+// GateSweepEntries enforces the co-simulation throughput contract within
+// one report, so the gate is self-relative and holds on any host:
+//
+//   - context reuse must pay for itself: serial-pooled >= 1.05x the
+//     serial-noreuse programs/sec (the measured serial reuse win is
+//     ~1.1x; most of the historical 10x came from fixes shared by both
+//     paths — see DESIGN.md §15);
+//   - the parallel fan-out must scale when there are CPUs to scale onto:
+//     with >= 2 workers on >= 2 CPUs, parallel >= 1.3x serial-pooled.
+//     On a single-CPU host the scaling clause is vacuous and only the
+//     no-regression bound (parallel >= 0.9x pooled) applies.
+func GateSweepEntries(entries []BenchEntry) error {
+	rows := make(map[string]BenchEntry)
+	for _, e := range entries {
+		if e.Kind == "sweep" {
+			rows[e.Config] = e
+		}
+	}
+	noreuse, okN := rows["serial-noreuse"]
+	pooled, okP := rows["serial-pooled"]
+	par, okPar := rows["parallel"]
+	if !okN || !okP || !okPar {
+		return fmt.Errorf("sweep gate: missing sweep rows (have %d)", len(rows))
+	}
+	var bad []string
+	if pooled.ProgramsPerSec < 1.05*noreuse.ProgramsPerSec {
+		bad = append(bad, fmt.Sprintf(
+			"pooled %.0f p/s < 1.05x noreuse %.0f p/s", pooled.ProgramsPerSec, noreuse.ProgramsPerSec))
+	}
+	if par.Workers >= 2 && runtime.NumCPU() >= 2 {
+		if par.ProgramsPerSec < 1.3*pooled.ProgramsPerSec {
+			bad = append(bad, fmt.Sprintf(
+				"parallel (%d workers) %.0f p/s < 1.3x pooled %.0f p/s",
+				par.Workers, par.ProgramsPerSec, pooled.ProgramsPerSec))
+		}
+	} else if par.ProgramsPerSec < 0.9*pooled.ProgramsPerSec {
+		bad = append(bad, fmt.Sprintf(
+			"parallel (%d workers, 1 CPU) %.0f p/s < 0.9x pooled %.0f p/s",
+			par.Workers, par.ProgramsPerSec, pooled.ProgramsPerSec))
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("sweep gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 // BenchTelemetryOverhead measures every machine row twice — telemetry

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// sweepRow builds a sweep BenchEntry for diff/gate tests.
+func sweepRow(config string, workers int, ns, pps float64) BenchEntry {
+	return BenchEntry{
+		Kind: "sweep", Name: "oracle", Config: config,
+		Workers: workers, Instrs: 1000,
+		NsPerInstr: ns, ProgramsPerSec: pps,
+	}
+}
+
+// TestDiffBenchWorkerMismatch: a sweep row measured at a different
+// worker count than the baseline is reported for context but marked
+// ungateable, and the gate refuses to fail on it no matter how large
+// the apparent regression.
+func TestDiffBenchWorkerMismatch(t *testing.T) {
+	old := &BenchReport{Entries: []BenchEntry{sweepRow("parallel", 8, 100, 4000)}}
+	new := &BenchReport{Entries: []BenchEntry{sweepRow("parallel", 1, 800, 500)}}
+
+	deltas := DiffBenchReports(old, new)
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(deltas))
+	}
+	d := deltas[0]
+	if d.Ungateable == "" {
+		t.Fatal("worker-mismatched sweep delta not marked ungateable")
+	}
+	if !strings.Contains(d.Ungateable, "8 -> 1") {
+		t.Fatalf("ungateable reason %q does not name the worker counts", d.Ungateable)
+	}
+	// An 8x slowdown would trip any gate — unless the row is refused.
+	if err := GateBenchDiff(deltas, 5); err != nil {
+		t.Fatalf("gate failed on an ungateable row: %v", err)
+	}
+	if !strings.Contains(FormatBenchDiff(deltas), "not gated") {
+		t.Fatal("formatted diff does not flag the ungateable row")
+	}
+}
+
+// TestDiffBenchSweepMatchedWorkersGates: with matching worker counts a
+// sweep regression gates like a machine row.
+func TestDiffBenchSweepMatchedWorkersGates(t *testing.T) {
+	old := &BenchReport{Entries: []BenchEntry{sweepRow("serial-pooled", 1, 100, 4000)}}
+	new := &BenchReport{Entries: []BenchEntry{sweepRow("serial-pooled", 1, 150, 2600)}}
+	deltas := DiffBenchReports(old, new)
+	if len(deltas) != 1 || deltas[0].Ungateable != "" {
+		t.Fatalf("unexpected deltas: %+v", deltas)
+	}
+	if err := GateBenchDiff(deltas, 5); err == nil {
+		t.Fatal("gate passed a 50%% sweep ns/instr regression")
+	}
+}
+
+// TestGateSweepEntries: the in-report throughput contract — pooled must
+// beat noreuse; the parallel clause depends on the host's CPU count.
+func TestGateSweepEntries(t *testing.T) {
+	ok := []BenchEntry{
+		sweepRow("serial-noreuse", 1, 0, 500),
+		sweepRow("serial-pooled", 1, 0, 600),
+		sweepRow("parallel", 1, 0, 600),
+	}
+	if err := GateSweepEntries(ok); err != nil {
+		t.Fatalf("healthy entries failed the gate: %v", err)
+	}
+
+	slowPool := []BenchEntry{
+		sweepRow("serial-noreuse", 1, 0, 500),
+		sweepRow("serial-pooled", 1, 0, 510), // < 1.05x
+		sweepRow("parallel", 1, 0, 510),
+	}
+	if err := GateSweepEntries(slowPool); err == nil {
+		t.Fatal("gate passed a pooled path slower than its contract")
+	}
+
+	if runtime.NumCPU() >= 2 {
+		noScale := []BenchEntry{
+			sweepRow("serial-noreuse", 1, 0, 500),
+			sweepRow("serial-pooled", 1, 0, 600),
+			sweepRow("parallel", 8, 0, 650), // < 1.3x pooled
+		}
+		if err := GateSweepEntries(noScale); err == nil {
+			t.Fatal("gate passed a parallel path that does not scale")
+		}
+	}
+
+	if err := GateSweepEntries(nil); err == nil {
+		t.Fatal("gate passed with no sweep rows")
+	}
+}

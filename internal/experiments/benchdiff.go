@@ -30,11 +30,16 @@ func LoadBenchReport(path string) (*BenchReport, error) {
 type BenchDelta struct {
 	Kind, Name, Config   string
 	Seed                 int64
+	Workers              int
 	OldNs, NewNs         float64
 	OldAllocs, NewAllocs float64
 	// NsPct/AllocsPct are the relative changes in percent; positive means
 	// the new report is slower / allocates more.
 	NsPct, AllocsPct float64
+	// Ungateable, when non-empty, explains why this row is shown but must
+	// never gate: throughput measured at different worker counts is not a
+	// regression signal, it is a different experiment.
+	Ungateable string
 }
 
 func (d BenchDelta) label() string {
@@ -42,10 +47,24 @@ func (d BenchDelta) label() string {
 	if d.Seed != 0 {
 		l += fmt.Sprintf("#%d", d.Seed)
 	}
+	if d.Workers != 0 {
+		l += fmt.Sprintf("@%dw", d.Workers)
+	}
 	return l
 }
 
+// benchKey identifies a row for cross-report matching. Workers is part of
+// the key: a sweep row measured at 8 workers and one measured at 1 are
+// different experiments, and matching them would gate apples against
+// oranges. Non-sweep rows carry Workers == 0, so pre-existing reports
+// keep matching unchanged.
 func benchKey(e BenchEntry) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d", e.Kind, e.Name, e.Config, e.Seed, e.Workers)
+}
+
+// benchKeyNoWorkers is benchKey without the worker count, for detecting a
+// near-match measured at a different worker count.
+func benchKeyNoWorkers(e BenchEntry) string {
 	return fmt.Sprintf("%s|%s|%s|%d", e.Kind, e.Name, e.Config, e.Seed)
 }
 
@@ -57,26 +76,39 @@ func pct(old, new float64) float64 {
 }
 
 // DiffBenchReports matches the entries of two reports by
-// (kind, name, config, seed) and returns one delta per matched pair, in
-// the new report's order. Entries present on only one side are skipped —
-// a matrix change makes their comparison meaningless.
+// (kind, name, config, seed, workers) and returns one delta per matched
+// pair, in the new report's order. Entries present on only one side are
+// skipped — a matrix change makes their comparison meaningless — except
+// sweep rows whose only mismatch is the worker count: those are reported
+// with an Ungateable note (the comparison is shown for context but
+// refused by GateBenchDiff, since throughput at different worker counts
+// is not a regression signal).
 func DiffBenchReports(old, new *BenchReport) []BenchDelta {
 	byKey := make(map[string]BenchEntry, len(old.Entries))
+	byLooseKey := make(map[string]BenchEntry, len(old.Entries))
 	for _, e := range old.Entries {
 		byKey[benchKey(e)] = e
+		byLooseKey[benchKeyNoWorkers(e)] = e
 	}
 	var out []BenchDelta
 	for _, e := range new.Entries {
 		o, ok := byKey[benchKey(e)]
+		ungateable := ""
 		if !ok {
-			continue
+			o, ok = byLooseKey[benchKeyNoWorkers(e)]
+			if !ok || e.Kind != "sweep" {
+				continue
+			}
+			ungateable = fmt.Sprintf("worker counts differ (%d -> %d)", o.Workers, e.Workers)
 		}
 		out = append(out, BenchDelta{
 			Kind: e.Kind, Name: e.Name, Config: e.Config, Seed: e.Seed,
-			OldNs: o.NsPerInstr, NewNs: e.NsPerInstr,
+			Workers: e.Workers,
+			OldNs:   o.NsPerInstr, NewNs: e.NsPerInstr,
 			OldAllocs: o.AllocsPerInstr, NewAllocs: e.AllocsPerInstr,
-			NsPct:     pct(o.NsPerInstr, e.NsPerInstr),
-			AllocsPct: pct(o.AllocsPerInstr, e.AllocsPerInstr),
+			NsPct:      pct(o.NsPerInstr, e.NsPerInstr),
+			AllocsPct:  pct(o.AllocsPerInstr, e.AllocsPerInstr),
+			Ungateable: ungateable,
 		})
 	}
 	return out
@@ -96,6 +128,9 @@ func BenchEnvNote(old, new *BenchReport) string {
 	if old.NumCPU != new.NumCPU {
 		diffs = append(diffs, fmt.Sprintf("cpus %d -> %d", old.NumCPU, new.NumCPU))
 	}
+	if old.GoMaxProcs != new.GoMaxProcs {
+		diffs = append(diffs, fmt.Sprintf("gomaxprocs %d -> %d", old.GoMaxProcs, new.GoMaxProcs))
+	}
 	if len(diffs) == 0 {
 		return ""
 	}
@@ -114,26 +149,33 @@ func FormatBenchDiff(deltas []BenchDelta) string {
 	}
 	fmt.Fprintf(&b, "%-*s  %21s  %24s\n", wide, "entry", "ns/instr old->new", "allocs/instr old->new")
 	for _, d := range deltas {
-		fmt.Fprintf(&b, "%-*s  %8.1f -> %8.1f %+6.1f%%  %7.3f -> %7.3f %+6.1f%%\n",
+		fmt.Fprintf(&b, "%-*s  %8.1f -> %8.1f %+6.1f%%  %7.3f -> %7.3f %+6.1f%%",
 			wide, d.label(), d.OldNs, d.NewNs, d.NsPct, d.OldAllocs, d.NewAllocs, d.AllocsPct)
+		if d.Ungateable != "" {
+			fmt.Fprintf(&b, "  [not gated: %s]", d.Ungateable)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
-// GateBenchDiff fails if any machine entry's ns/instr regressed by more
-// than maxPct percent. Only the "machine" kind is gated: the full-machine
-// rate is the user-visible number; the sched-feed microbenchmark rows are
-// reported but too noisy at CI benchtime to hard-fail on.
+// GateBenchDiff fails if any machine or sweep entry's ns/instr regressed
+// by more than maxPct percent. The sched-feed microbenchmark rows are
+// reported but too noisy at CI benchtime to hard-fail on, and rows
+// marked Ungateable (sweep rows whose worker counts differ between the
+// reports) are refused outright — different worker counts are different
+// experiments, not a trajectory.
 func GateBenchDiff(deltas []BenchDelta, maxPct float64) error {
 	var bad []string
 	for _, d := range deltas {
-		if d.Kind == "machine" && d.NsPct > maxPct {
+		gated := d.Kind == "machine" || (d.Kind == "sweep" && d.Ungateable == "")
+		if gated && d.NsPct > maxPct {
 			bad = append(bad, fmt.Sprintf("%s: %.1f -> %.1f ns/instr (%+.1f%% > %+.1f%%)",
 				d.label(), d.OldNs, d.NewNs, d.NsPct, maxPct))
 		}
 	}
 	if len(bad) > 0 {
-		return fmt.Errorf("bench gate: %d machine entr%s regressed:\n  %s",
+		return fmt.Errorf("bench gate: %d entr%s regressed:\n  %s",
 			len(bad), map[bool]string{true: "y", false: "ies"}[len(bad) == 1],
 			strings.Join(bad, "\n  "))
 	}

@@ -186,3 +186,37 @@ func TestCacheReset(t *testing.T) {
 		t.Fatal("contents not reset")
 	}
 }
+
+func TestMemoryRecycle(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 0x100)
+	if err := m.WriteWord(0x1000, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	m.Recycle()
+
+	// A recycled memory faults exactly like a fresh one.
+	if _, err := m.Read(0x1000, 4); err == nil {
+		t.Error("read of recycled (unmapped) page should fault")
+	}
+	var fe *FaultError
+	_, err := m.Read(0x1000, 1)
+	if fe, _ = err.(*FaultError); fe == nil || fe.Addr != 0x1000 {
+		t.Errorf("fault error after recycle: %v", err)
+	}
+	if m.Mapped(0x1000) {
+		t.Error("recycled page still reports mapped")
+	}
+
+	// Remapping reuses the freed page, and it must come back zeroed:
+	// leaking a previous run's bytes would be a cross-program information
+	// channel and a determinism hole.
+	m.Map(0x1000, 0x100)
+	got, err := m.ReadWord(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("recycled page not zeroed: read %#08x", got)
+	}
+}

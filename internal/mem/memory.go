@@ -19,11 +19,25 @@ const pageSize = 1 << pageBits
 // memory ready for use.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+	// free recycles unmapped pages (see Recycle) so a reused memory maps
+	// pages without allocating in the steady state.
+	free []*[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+// Recycle unmaps every page, moving the backing storage to an internal
+// free list that later Map/LoadBytes calls draw from. The observable
+// state is exactly that of a fresh memory: every address faults until it
+// is mapped again, and recycled pages are re-zeroed before reuse.
+func (m *Memory) Recycle() {
+	for pn, p := range m.pages {
+		m.free = append(m.free, p)
+		delete(m.pages, pn)
+	}
 }
 
 // FaultError reports an access to an unmapped address.
@@ -37,7 +51,13 @@ func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	pn := addr >> pageBits
 	p := m.pages[pn]
 	if p == nil && create {
-		p = new([pageSize]byte)
+		if n := len(m.free); n > 0 {
+			p = m.free[n-1]
+			m.free = m.free[:n-1]
+			*p = [pageSize]byte{}
+		} else {
+			p = new([pageSize]byte)
+		}
 		m.pages[pn] = p
 	}
 	return p

@@ -3,7 +3,9 @@ package oracle
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"dtsvliw/internal/core"
 	"dtsvliw/internal/progen"
@@ -163,7 +165,8 @@ type Report struct {
 }
 
 // SweepOptions parameterises Sweep. Zero values select: all shapes, all
-// DefaultConfigs, stop at the first failure, default shrink budget.
+// DefaultConfigs, stop at the first failure, default shrink budget, one
+// worker per CPU, pooled machine contexts.
 type SweepOptions struct {
 	N           int   // number of generated programs
 	Seed        int64 // base seed; program i uses Seed+i
@@ -180,16 +183,123 @@ type SweepOptions struct {
 	// fails if the scheduler ever emits a block that cannot be statically
 	// proven equivalent to its sequential trace.
 	VerifyBlocks bool
-	// Progress, when set, is called after every run (f is nil unless the
-	// run failed).
+	// Workers fans the sweep out over this many goroutines (0 = one per
+	// CPU, 1 = serial). Results are merged in case order, so the Report —
+	// runs, totals, failures, shrunk reproducers — and the Progress
+	// sequence are byte-identical for every worker count.
+	Workers int
+	// NoReuse disables machine-context pooling, rebuilding every machine
+	// and reference from scratch (the pre-pooling behaviour). Used by the
+	// throughput benchmark as its baseline; results are identical either
+	// way.
+	NoReuse bool
+	// FastForward executes the first N sequential instructions of every
+	// program at interpreter speed before cycle-accurate simulation
+	// begins (core.Config.FastForward): the differential comparison
+	// still covers the prefix via one aggregate checkpoint.
+	FastForward uint64
+	// Progress, when set, is called after every run in case order (f is
+	// nil unless the run failed; the pointee is a private copy the
+	// callback may retain).
 	Progress func(done, total int, f *Failure)
+}
+
+// caseResult is the outcome of one sweep case, self-contained so cases
+// can be computed out of order and merged in order.
+type caseResult struct {
+	failure *Failure // nil on success
+	instret uint64
+	cycles  uint64
+}
+
+// sweepRunner executes sweep cases for one worker. Each worker owns its
+// SweepContext, so pooled state is never shared across goroutines and a
+// case's result never depends on which worker ran it: context reuse is
+// observationally identical to fresh construction.
+type sweepRunner struct {
+	o       SweepOptions
+	shapes  []progen.Shape
+	configs []NamedConfig
+	diffRun func(string, core.Config) (*Result, error)
+}
+
+func newSweepRunner(o SweepOptions, shapes []progen.Shape, configs []NamedConfig) *sweepRunner {
+	r := &sweepRunner{o: o, shapes: shapes, configs: configs}
+	switch {
+	case o.NoReuse && o.EngineDiff:
+		r.diffRun = RunDiffEngines
+	case o.NoReuse:
+		r.diffRun = RunDiff
+	default:
+		sc := NewSweepContext()
+		if o.EngineDiff {
+			r.diffRun = sc.RunDiffEngines
+		} else {
+			r.diffRun = sc.RunDiff
+		}
+	}
+	return r
+}
+
+// runCase generates, runs and (on divergence) shrinks case i.
+func (r *sweepRunner) runCase(i int) caseResult {
+	seed := r.o.Seed + int64(i)
+	shape := r.shapes[i%len(r.shapes)]
+	nc := r.configs[(i/len(r.shapes))%len(r.configs)]
+	nc.Cfg.VerifyBlocks = r.o.VerifyBlocks
+	nc.Cfg.FastForward = r.o.FastForward
+	src := progen.Generate(progen.ShapeParams(shape, seed))
+
+	res, err := r.diffRun(src, nc.Cfg)
+	if err == nil {
+		return caseResult{instret: res.Instret, cycles: res.Cycles}
+	}
+	f := &Failure{Seed: seed, Shape: shape, ConfigName: nc.Name, Engines: r.o.EngineDiff,
+		Source: src, OrigLines: countLines(src), Lines: countLines(src)}
+	var d *Divergence
+	if errors.As(err, &d) {
+		small, smallDiv := shrinkWith(src, nc.Cfg, r.o.ShrinkEvals, r.diffRun)
+		f.Source, f.Lines = small, countLines(small)
+		f.Div = smallDiv
+		if f.Div == nil {
+			f.Div = d // shrinking could not re-confirm; keep the original
+		}
+	} else {
+		f.Err = err
+	}
+	return caseResult{failure: f}
+}
+
+// consume merges one case result into the report, in case order. It
+// reports whether the failure budget is exhausted. Progress receives a
+// private copy of the failure, never a pointer into rep.Failures (whose
+// backing array relocates as it grows).
+func consume(rep *Report, o SweepOptions, cr caseResult, i, maxFail int) (stop bool) {
+	rep.Runs++
+	if cr.failure == nil {
+		rep.Instret += cr.instret
+		rep.Cycles += cr.cycles
+		if o.Progress != nil {
+			o.Progress(i+1, o.N, nil)
+		}
+		return false
+	}
+	rep.Failures = append(rep.Failures, *cr.failure)
+	if o.Progress != nil {
+		fcopy := *cr.failure
+		o.Progress(i+1, o.N, &fcopy)
+	}
+	return len(rep.Failures) >= maxFail
 }
 
 // Sweep runs the property-based conformance harness: for i in [0, N),
 // generate the program for seed Seed+i in shape i mod len(Shapes), run it
 // differentially under a rotating configuration, and shrink every failing
 // program to a minimal reproducer. Determinism: the same options always
-// test the same (program, configuration) pairs in the same order.
+// test the same (program, configuration) pairs and produce the same
+// Report, regardless of Workers and NoReuse — cases are computed
+// independently (per-worker pools, monotonic dispatch) and merged in
+// case order.
 func Sweep(o SweepOptions) *Report {
 	shapes := o.Shapes
 	if len(shapes) == 0 {
@@ -203,52 +313,77 @@ func Sweep(o SweepOptions) *Report {
 	if maxFail <= 0 {
 		maxFail = 1
 	}
-
-	diffRun := RunDiff
-	if o.EngineDiff {
-		diffRun = RunDiffEngines
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > o.N {
+		workers = o.N
 	}
 
 	rep := &Report{}
+	if workers <= 1 {
+		r := newSweepRunner(o, shapes, configs)
+		for i := 0; i < o.N; i++ {
+			if consume(rep, o, r.runCase(i), i, maxFail) {
+				break
+			}
+		}
+		return rep
+	}
+
+	// Parallel fan-out. Workers claim case indices monotonically under
+	// the mutex and publish into results; the calling goroutine merges
+	// strictly in index order, so the report is byte-identical to the
+	// serial sweep. When the failure budget is exhausted the merger sets
+	// stopAt to halt dispatch; in-flight cases finish and are discarded,
+	// exactly like the serial loop's break.
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		results = make([]*caseResult, o.N)
+		next    int
+		stopAt  = o.N
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := newSweepRunner(o, shapes, configs)
+			for {
+				mu.Lock()
+				if next >= stopAt {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				cr := r.runCase(i)
+				mu.Lock()
+				results[i] = &cr
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
 	for i := 0; i < o.N; i++ {
-		seed := o.Seed + int64(i)
-		shape := shapes[i%len(shapes)]
-		nc := configs[(i/len(shapes))%len(configs)]
-		nc.Cfg.VerifyBlocks = o.VerifyBlocks
-		src := progen.Generate(progen.ShapeParams(shape, seed))
-
-		res, err := diffRun(src, nc.Cfg)
-		rep.Runs++
-		if err == nil {
-			rep.Instret += res.Instret
-			rep.Cycles += res.Cycles
-			if o.Progress != nil {
-				o.Progress(i+1, o.N, nil)
-			}
-			continue
+		mu.Lock()
+		for results[i] == nil {
+			cond.Wait()
 		}
-
-		f := Failure{Seed: seed, Shape: shape, ConfigName: nc.Name, Engines: o.EngineDiff,
-			Source: src, OrigLines: countLines(src), Lines: countLines(src)}
-		var d *Divergence
-		if errors.As(err, &d) {
-			small, smallDiv := shrinkWith(src, nc.Cfg, o.ShrinkEvals, diffRun)
-			f.Source, f.Lines = small, countLines(small)
-			f.Div = smallDiv
-			if f.Div == nil {
-				f.Div = d // shrinking could not re-confirm; keep the original
-			}
-		} else {
-			f.Err = err
-		}
-		rep.Failures = append(rep.Failures, f)
-		if o.Progress != nil {
-			o.Progress(i+1, o.N, &rep.Failures[len(rep.Failures)-1])
-		}
-		if len(rep.Failures) >= maxFail {
+		cr := *results[i]
+		results[i] = nil
+		mu.Unlock()
+		if consume(rep, o, cr, i, maxFail) {
+			mu.Lock()
+			stopAt = 0
+			mu.Unlock()
 			break
 		}
 	}
+	wg.Wait()
 	return rep
 }
 

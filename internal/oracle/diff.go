@@ -6,7 +6,9 @@ import (
 	"fmt"
 
 	"dtsvliw/internal/arch"
+	"dtsvliw/internal/asm"
 	"dtsvliw/internal/core"
+	"dtsvliw/internal/mem"
 )
 
 // maxDiffCycles bounds every differential run so shrunk candidates that
@@ -55,6 +57,33 @@ type Result struct {
 // (it also misbehaves sequentially), which the conformance driver treats
 // as a generator bug rather than a machine bug.
 func RunDiff(source string, cfg core.Config) (*Result, error) {
+	cfg = normalizeDiffConfig(cfg)
+
+	// One assembly serves both machines; the program is loaded into two
+	// independent memories.
+	p, err := asm.Assemble(source)
+	if err != nil {
+		return nil, &ProgramError{Stage: "assemble", Err: err}
+	}
+	refSt := arch.NewState(cfg.NWin, mem.NewMemory())
+	loadProgram(refSt, p)
+	ref := RefOver(refSt)
+
+	st := arch.NewState(cfg.NWin, mem.NewMemory())
+	loadProgram(st, p)
+	st.LogStores = true
+	m, err := core.NewMachine(cfg, st)
+	if err != nil {
+		return nil, &ProgramError{Stage: "machine", Err: err}
+	}
+	return runDiffOn(m, ref)
+}
+
+// normalizeDiffConfig applies the differential runner's config policy:
+// the machine's own TestMode is forced off (the oracle's comparison is
+// independent of it), runs are cycle-bounded, and the window count gets
+// the standard default.
+func normalizeDiffConfig(cfg core.Config) core.Config {
 	cfg.TestMode = false
 	if cfg.MaxCycles == 0 || cfg.MaxCycles > maxDiffCycles {
 		cfg.MaxCycles = maxDiffCycles
@@ -62,21 +91,13 @@ func RunDiff(source string, cfg core.Config) (*Result, error) {
 	if cfg.NWin <= 0 {
 		cfg.NWin = defaultWin
 	}
+	return cfg
+}
 
-	ref, err := NewRef(source, cfg.NWin)
-	if err != nil {
-		return nil, &ProgramError{Stage: "assemble", Err: err}
-	}
-	st, err := BuildState(source, cfg.NWin)
-	if err != nil {
-		return nil, &ProgramError{Stage: "assemble", Err: err}
-	}
-	st.LogStores = true
-	m, err := core.NewMachine(cfg, st)
-	if err != nil {
-		return nil, &ProgramError{Stage: "machine", Err: err}
-	}
-
+// runDiffOn performs the lock-step differential comparison on a prepared
+// machine and reference interpreter (same program loaded into both). It
+// is the shared core of RunDiff and the pooled SweepContext.RunDiff.
+func runDiffOn(m *core.Machine, ref *Ref) (*Result, error) {
 	m.CheckpointHook = func(advance uint64, pc uint32, where string) error {
 		for i := uint64(0); i < advance; i++ {
 			if err := ref.Step(); err != nil {

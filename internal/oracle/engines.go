@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 
 	"dtsvliw/internal/arch"
+	"dtsvliw/internal/asm"
 	"dtsvliw/internal/core"
 )
 
@@ -37,22 +38,48 @@ type ckpt struct {
 // one; a *ProgramError means the program itself is faulty (both engines
 // reject it identically).
 func RunDiffEngines(source string, cfg core.Config) (*Result, error) {
-	cfg.TestMode = false
-	if cfg.MaxCycles == 0 || cfg.MaxCycles > maxDiffCycles {
-		cfg.MaxCycles = maxDiffCycles
-	}
-	if cfg.NWin <= 0 {
-		cfg.NWin = defaultWin
+	return runDiffEngines(source, cfg, nil)
+}
+
+// runDiffEngines is the shared core of RunDiffEngines and the pooled
+// SweepContext.RunDiffEngines: with a non-nil SweepContext the two
+// machines execute on borrowed pooled contexts and the checkpoint trace
+// reuses the context's buffer.
+func runDiffEngines(source string, cfg core.Config, sc *SweepContext) (*Result, error) {
+	cfg = normalizeDiffConfig(cfg)
+	p, err := asm.Assemble(source)
+	if err != nil {
+		return nil, &ProgramError{Stage: "assemble", Err: err}
 	}
 
-	mi, trace, _, errI := engineRun(source, cfg, true, nil)
+	// Both contexts stay borrowed until every comparison below is done:
+	// the final check reads both machines' full states side by side.
+	var ctxI, ctxL *core.MachineContext
+	if sc != nil {
+		defer func() {
+			sc.pool.Put(ctxI)
+			sc.pool.Put(ctxL)
+		}()
+	}
+
+	var trace []ckpt
+	if sc != nil {
+		trace = sc.ckpts[:0]
+	}
+	var mi, ml *core.Machine
+	var errI, errL error
+	var consumed int
+	ctxI, mi, trace, _, errI = engineRun(p, cfg, true, nil, trace, sc)
+	if sc != nil {
+		sc.ckpts = trace // keep the (possibly grown) buffer for reuse
+	}
 	if errI != nil {
 		var pe *ProgramError
 		if errors.As(errI, &pe) {
 			return nil, pe
 		}
 	}
-	ml, _, consumed, errL := engineRun(source, cfg, false, trace)
+	ctxL, ml, _, consumed, errL = engineRun(p, cfg, false, trace, nil, sc)
 	if errL != nil {
 		var d *Divergence
 		if errors.As(errL, &d) {
@@ -109,21 +136,31 @@ func RunDiffEngines(source string, cfg core.Config) (*Result, error) {
 	}, nil
 }
 
-// engineRun executes source on one machine. With follow == nil it records
-// the checkpoint trace; otherwise it verifies each checkpoint against the
-// recorded trace and fails with a *Divergence on the first mismatch.
-// consumed reports how many recorded checkpoints the run replayed.
-func engineRun(source string, cfg core.Config, interpreted bool, follow []ckpt) (m *core.Machine, trace []ckpt, consumed int, err error) {
+// engineRun executes the assembled program on one machine. With follow ==
+// nil it records the checkpoint trace (into traceBuf's storage when
+// provided); otherwise it verifies each checkpoint against the recorded
+// trace and fails with a *Divergence on the first mismatch. consumed
+// reports how many recorded checkpoints the run replayed. With a non-nil
+// SweepContext the machine comes from its pool; the returned context is
+// the caller's to Put once it is done with the machine's state.
+func engineRun(p *asm.Program, cfg core.Config, interpreted bool, follow, traceBuf []ckpt, sc *SweepContext) (ctx *core.MachineContext, m *core.Machine, trace []ckpt, consumed int, err error) {
 	cfg.InterpretedEngine = interpreted
-	st, err := BuildState(source, cfg.NWin)
-	if err != nil {
-		return nil, nil, 0, &ProgramError{Stage: "assemble", Err: err}
+	if sc != nil {
+		ctx, err = sc.pool.Get(cfg)
+	} else {
+		ctx, err = core.NewMachineContext(cfg)
 	}
+	if err != nil {
+		return nil, nil, nil, 0, &ProgramError{Stage: "machine", Err: err}
+	}
+	st := ctx.State()
+	loadProgram(st, p)
 	st.LogStores = true
-	m, err = core.NewMachine(cfg, st)
+	m, err = ctx.Prepare()
 	if err != nil {
-		return nil, nil, 0, &ProgramError{Stage: "machine", Err: err}
+		return ctx, nil, nil, 0, &ProgramError{Stage: "machine", Err: err}
 	}
+	trace = traceBuf
 	m.CheckpointHook = func(advance uint64, pc uint32, where string) error {
 		fp := engineFingerprint(m)
 		if follow == nil {
@@ -146,7 +183,7 @@ func engineRun(source string, cfg core.Config, interpreted bool, follow []ckpt) 
 		return nil
 	}
 	err = m.Run()
-	return m, trace, consumed, err
+	return ctx, m, trace, consumed, err
 }
 
 // engineFingerprint hashes the architectural registers, condition codes

@@ -58,14 +58,21 @@ func BuildState(source string, nwin int) (*arch.State, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := mem.NewMemory()
-	p.Load(m)
-	m.Map(stackBase, stackSize)
-	st := arch.NewState(nwin, m)
+	st := arch.NewState(nwin, mem.NewMemory())
+	loadProgram(st, p)
+	return st, nil
+}
+
+// loadProgram installs an assembled program into st with the standard
+// memory layout: sections, stack mapping, entry PC, %sp and the decoded-
+// instruction cache over the text range. The state may be fresh or reset;
+// either way it afterwards matches what BuildState produces.
+func loadProgram(st *arch.State, p *asm.Program) {
+	p.Load(st.Mem)
+	st.Mem.Map(stackBase, stackSize)
 	st.PC = p.Entry
 	st.SetReg(14, initialSP) // %sp
 	st.SetTextRange(p.TextBase, p.TextSize)
-	return st, nil
 }
 
 // ProgramError reports that the program itself is faulty (it does not

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"dtsvliw/internal/arch"
+	"dtsvliw/internal/isa"
 )
 
 // contextWindow is the number of recently retired reference instructions
@@ -22,9 +23,12 @@ type Ref struct {
 	n    uint64 // total retired since construction
 }
 
+// refStep keeps the decoded instruction, not its disassembly: rendering
+// the text is deferred to Context, so the per-step cost on the hot path
+// is a struct copy instead of a string format.
 type refStep struct {
-	pc   uint32
-	text string
+	pc uint32
+	in isa.Inst
 }
 
 // NewRef builds a reference interpreter for source with nwin register
@@ -34,8 +38,23 @@ func NewRef(source string, nwin int) (*Ref, error) {
 	if err != nil {
 		return nil, err
 	}
+	return RefOver(st), nil
+}
+
+// RefOver wraps an already prepared state (program loaded, PC and stack
+// initialised) as a reference interpreter, enabling store journaling.
+func RefOver(st *arch.State) *Ref {
 	st.LogStores = true
-	return &Ref{St: st}, nil
+	return &Ref{St: st}
+}
+
+// Rebind points the reference at a freshly prepared state and clears the
+// context ring, so one Ref can serve many runs (the pooled sweep path).
+func (r *Ref) Rebind(st *arch.State) {
+	st.LogStores = true
+	r.St = st
+	r.ring = [contextWindow]refStep{}
+	r.n = 0
 }
 
 // Step retires exactly one instruction sequentially and records it in the
@@ -52,7 +71,7 @@ func (r *Ref) Step() error {
 	if err != nil {
 		return err
 	}
-	r.ring[r.n%contextWindow] = refStep{pc: pc, text: in.Disasm(pc)}
+	r.ring[r.n%contextWindow] = refStep{pc: pc, in: in}
 	r.n++
 	return nil
 }
@@ -78,7 +97,7 @@ func (r *Ref) Context() string {
 		if i == r.n-1 {
 			marker = "=>"
 		}
-		fmt.Fprintf(&b, "%s [%6d] %#08x  %s\n", marker, i+1, s.pc, s.text)
+		fmt.Fprintf(&b, "%s [%6d] %#08x  %s\n", marker, i+1, s.pc, s.in.Disasm(s.pc))
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

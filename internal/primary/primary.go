@@ -150,6 +150,15 @@ func (p *Pipeline) FlushState() {
 	p.inflight = p.inflight[:0]
 }
 
+// Reset returns the pipeline to its post-construction state (hazard
+// tracking, scoreboard clock and all counters), retaining the scoreboard's
+// backing storage for reuse.
+func (p *Pipeline) Reset() {
+	p.FlushState()
+	p.now = 0
+	p.Cycles, p.Bubbles, p.BranchStalls, p.LoadStalls = 0, 0, 0, 0
+}
+
 func overlap(a, b []isa.Loc) bool {
 	for _, x := range a {
 		for _, y := range b {

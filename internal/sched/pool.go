@@ -12,6 +12,11 @@ import (
 // arenas, and stores footprint Loc slices and rename-pair lists in rolling
 // arenas, so the steady-state insertion path performs no per-instruction
 // heap allocation beyond amortised chunk refills.
+//
+// Every chunk the arenas ever allocate is additionally tracked in a slab
+// list, so Reset can reclaim the whole working set in O(slabs) and a
+// reused scheduler reaches a zero-allocation steady state across runs
+// (the machine-pool reuse path, DESIGN.md §15).
 
 const (
 	slotChunkSize = 256  // Slots per arena chunk
@@ -28,6 +33,7 @@ func (u *Scheduler) newSlot() *Slot {
 	}
 	if len(u.slotChunk) == 0 {
 		u.slotChunk = make([]Slot, slotChunkSize)
+		u.slotSlabs = append(u.slotSlabs, u.slotChunk)
 	}
 	s := &u.slotChunk[0]
 	u.slotChunk = u.slotChunk[1:]
@@ -50,11 +56,7 @@ func (u *Scheduler) grabLocs(src []isa.Loc) []isa.Loc {
 		return nil
 	}
 	if cap(u.locArena)-len(u.locArena) < len(src) {
-		n := locChunkSize
-		if len(src) > n {
-			n = len(src)
-		}
-		u.locArena = make([]isa.Loc, 0, n)
+		u.locArena = nextSlab(&u.locSlabs, &u.locNext, len(src), locChunkSize)
 	}
 	start := len(u.locArena)
 	u.locArena = append(u.locArena, src...)
@@ -70,16 +72,37 @@ func (u *Scheduler) grabPairs(src []RenamePair) []RenamePair {
 		return nil
 	}
 	if cap(u.pairArena)-len(u.pairArena) < len(src) {
-		n := pairChunkSize
-		if len(src) > n {
-			n = len(src)
-		}
-		u.pairArena = make([]RenamePair, 0, n)
+		u.pairArena = nextSlab(&u.pairSlabs, &u.pairNext, len(src), pairChunkSize)
 	}
 	start := len(u.pairArena)
 	u.pairArena = append(u.pairArena, src...)
 	out := u.pairArena[start:]
 	return out[:len(out):len(out)]
+}
+
+// nextSlab mounts the next recyclable slab with capacity ≥ min from the
+// slab list, allocating (and registering) a new chunk when none fits. The
+// mounted slab is swapped into position *next, so slabs [0, *next) are
+// exactly the ones in use since the last Reset.
+func nextSlab[T any](slabs *[][]T, next *int, min, chunk int) []T {
+	for i := *next; i < len(*slabs); i++ {
+		if cap((*slabs)[i]) >= min {
+			(*slabs)[i], (*slabs)[*next] = (*slabs)[*next], (*slabs)[i]
+			s := (*slabs)[*next][:0]
+			*next++
+			return s
+		}
+	}
+	n := chunk
+	if min > n {
+		n = min
+	}
+	s := make([]T, 0, n)
+	*slabs = append(*slabs, s)
+	last := len(*slabs) - 1
+	(*slabs)[*next], (*slabs)[last] = (*slabs)[last], (*slabs)[*next]
+	*next++
+	return s
 }
 
 // releaseElement resets an element and returns it to the pool. Its slot
@@ -100,4 +123,94 @@ func (u *Scheduler) releaseElement(e *element) {
 	e.latMask = 0
 	e.memW = e.memW[:0]
 	u.elemPool = append(u.elemPool, e)
+}
+
+// takeBlock returns a Block whose LIs grid has n rows of Width slots,
+// recycled from the block pool when possible. Pooled blocks carry a full
+// Height×Width grid (one backing array), so any flush size fits.
+func (u *Scheduler) takeBlock(n int) *Block {
+	if k := len(u.blockPool); k > 0 {
+		b := u.blockPool[k-1]
+		u.blockPool = u.blockPool[:k-1]
+		lis := b.LIs[:u.cfg.Height]
+		*b = Block{}
+		b.LIs = lis[:n]
+		return b
+	}
+	w := u.cfg.Width
+	backing := make([]*Slot, u.cfg.Height*w)
+	lis := make([][]*Slot, u.cfg.Height)
+	for i := range lis {
+		lis[i] = backing[i*w : (i+1)*w : (i+1)*w]
+	}
+	return &Block{LIs: lis[:n]}
+}
+
+// Reset returns the scheduler to its post-New state while keeping every
+// allocation it has accumulated: elements, slots, arena slabs and pooled
+// blocks all become available for the next run. It reclaims storage
+// unconditionally, so it must only be called once no block the scheduler
+// ever flushed is still in use (the machine's reset path drains the VLIW
+// Cache first); any Block or Slot obtained before Reset is invalid after
+// it. Stats are cleared except for the block geometry.
+func (u *Scheduler) Reset() {
+	for _, e := range u.elems {
+		u.releaseElement(e)
+	}
+	u.elems = u.elems[:0]
+	u.blockTag, u.blockCWP, u.blockSeq, u.blockIns = 0, 0, 0, 0
+	u.haveTag = false
+	u.renUsed = [NumRenameClasses]uint16{}
+	u.order = 0
+	u.splits = 0
+	u.currentCon = false
+	u.renEpoch++ // invalidates every renTab binding in O(1)
+	u.renLive = 0
+	if len(u.renameMap) > 0 {
+		clear(u.renameMap)
+	}
+	if len(u.conservative) > 0 {
+		clear(u.conservative)
+	}
+	u.trace = u.trace[:0]
+	u.candR.Reset()
+	u.candW.Reset()
+	// Reclaim the slot arena wholesale: every slab slot is zeroed and put
+	// back on the free list (slot pointers inside recycled blocks are
+	// overwritten before use — flush copies a full row per long
+	// instruction).
+	u.slotFree = u.slotFree[:0]
+	u.slotChunk = nil
+	for _, slab := range u.slotSlabs {
+		clear(slab)
+		for i := range slab {
+			u.slotFree = append(u.slotFree, &slab[i])
+		}
+	}
+	// Rewind the rolling arenas: slabs stay registered, the mount cursors
+	// return to the first slab.
+	u.locArena = nil
+	u.locNext = 0
+	u.pairArena = nil
+	u.pairNext = 0
+	u.Stats = Stats{Width: u.cfg.Width, Height: u.cfg.Height}
+}
+
+// RecycleBlock returns a block produced by this scheduler's Flush to the
+// block pool, once the caller (the VLIW Cache, via the machine's reset
+// path) is done with it. Blocks whose grid no longer matches the full
+// Height×Width pooled layout — hand-built test blocks, or blocks a
+// repacking strategy rewrote with fresh rows — are ignored and left to
+// the garbage collector.
+func (u *Scheduler) RecycleBlock(b *Block) {
+	if b == nil || cap(b.LIs) < u.cfg.Height {
+		return
+	}
+	lis := b.LIs[:u.cfg.Height]
+	for _, row := range lis {
+		if len(row) != u.cfg.Width {
+			return
+		}
+	}
+	u.blockPool = append(u.blockPool, b)
 }

@@ -103,12 +103,21 @@ type Scheduler struct {
 	candR isa.Sig
 	candW isa.Sig
 
-	// Allocation recycling (see pool.go).
+	// Allocation recycling (see pool.go). The slab lists additionally
+	// record every chunk the arenas ever allocated so Reset can reclaim
+	// the whole working set; slabs [0, locNext) / [0, pairNext) are the
+	// ones mounted since the last Reset.
 	elemPool  []*element
 	slotChunk []Slot
+	slotSlabs [][]Slot
 	slotFree  []*Slot
 	locArena  []isa.Loc
+	locSlabs  [][]isa.Loc
+	locNext   int
 	pairArena []RenamePair
+	pairSlabs [][]RenamePair
+	pairNext  int
+	blockPool []*Block
 
 	// Reusable scratch buffers for the insertion hot path. Each buffer is
 	// private to one phase of Insert/moveUp, so no two live uses alias.
@@ -1118,27 +1127,21 @@ func (u *Scheduler) flush(nbaAddr uint32, endSeq uint64) *Block {
 	if u.cfg.FaultSwapSlots || u.cfg.FaultLatencyViolation {
 		u.injectFlushFaults()
 	}
-	b := &Block{
-		Tag:          u.blockTag,
-		EntryCWP:     u.blockCWP,
-		NumLIs:       len(u.elems),
-		NBA:          LongAddr{Addr: nbaAddr, Line: len(u.elems) - 1},
-		Renames:      u.renUsed,
-		Splits:       u.splits,
-		FirstSeq:     u.blockSeq,
-		EndSeq:       endSeq,
-		Conservative: u.currentCon,
-	}
-	// The block takes a compact copy of the slot grid (one backing array
-	// per block) so the element structs can be recycled for the next
-	// block instead of being reallocated per long instruction.
-	w := u.cfg.Width
-	backing := make([]*Slot, len(u.elems)*w)
-	b.LIs = make([][]*Slot, len(u.elems))
+	// The block takes a compact copy of the slot grid (a pooled Height×Width
+	// backing array, see takeBlock) so the element structs can be recycled
+	// for the next block instead of being reallocated per long instruction.
+	b := u.takeBlock(len(u.elems))
+	b.Tag = u.blockTag
+	b.EntryCWP = u.blockCWP
+	b.NumLIs = len(u.elems)
+	b.NBA = LongAddr{Addr: nbaAddr, Line: len(u.elems) - 1}
+	b.Renames = u.renUsed
+	b.Splits = u.splits
+	b.FirstSeq = u.blockSeq
+	b.EndSeq = endSeq
+	b.Conservative = u.currentCon
 	for i, e := range u.elems {
-		row := backing[i*w : (i+1)*w : (i+1)*w]
-		copy(row, e.slots)
-		b.LIs[i] = row
+		copy(b.LIs[i], e.slots)
 		b.ValidOps += e.occ
 		u.releaseElement(e)
 	}

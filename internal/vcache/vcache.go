@@ -44,6 +44,11 @@ type Cache struct {
 	sets  int
 	lines []line // sets*assoc
 	clock uint64
+	// used records the index of every line that has held a block since
+	// the last Drain, so resetting a reused cache touches O(stores)
+	// lines instead of zeroing the whole (multi-megabyte, mostly empty)
+	// line array.
+	used []int
 
 	Hits       uint64
 	Misses     uint64
@@ -157,6 +162,9 @@ func (c *Cache) Save(b *sched.Block, low *vliw.LoweredBlock) {
 			c.tel.BlockEvicted(c.lines[victim].tag)
 		}
 	}
+	if !c.lines[victim].valid {
+		c.used = append(c.used, victim)
+	}
 	ent := Entry{Blk: b, Low: low}
 	if c.tel != nil {
 		ent.Prof = c.tel.Profile(b.Tag)
@@ -183,8 +191,20 @@ func (c *Cache) Invalidate(addr uint32, cwp uint8) {
 
 // Reset clears the cache.
 func (c *Cache) Reset() {
-	for i := range c.lines {
+	c.Drain(nil)
+}
+
+// Drain clears the cache like Reset, handing every valid entry to fn (when
+// non-nil) before it is dropped, so callers can recycle block storage —
+// the machine pool returns drained blocks to the scheduler's block pool.
+func (c *Cache) Drain(fn func(Entry)) {
+	for _, i := range c.used {
+		if fn != nil && c.lines[i].valid {
+			fn(c.lines[i].ent)
+		}
 		c.lines[i] = line{}
 	}
+	c.used = c.used[:0]
+	c.clock = 0
 	c.Hits, c.Misses, c.Stores, c.Replaced, c.Invalidats = 0, 0, 0, 0, 0
 }

@@ -252,6 +252,21 @@ func New(st *arch.State) *Engine {
 // sites are nil-guarded so a detached engine pays nothing.
 func (e *Engine) SetTelemetry(t *telemetry.Collector) { e.tel = t }
 
+// Reset returns the engine to its post-construction state for reuse over
+// the same architectural state object. Every arena survives: the flat
+// rename file stays epoch-invalidated (the stamp discipline makes stale
+// entries unreadable), the per-block and per-LI scratch slices are
+// truncated by the next BeginBlock/BeginLowered, and the store-list
+// overlay is emptied. Statistics are zeroed. A reset engine behaves
+// identically to a freshly constructed one.
+func (e *Engine) Reset() {
+	e.block, e.lb = nil, nil
+	if e.overlay != nil {
+		e.overlay.reset()
+	}
+	e.Stats = Stats{}
+}
+
 // Block returns the block currently being executed.
 func (e *Engine) Block() *sched.Block { return e.block }
 

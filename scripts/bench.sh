@@ -7,6 +7,10 @@
 #   scripts/bench.sh compare    measure into a temp file and print per-entry
 #                               ns/instr and allocs/instr deltas against the
 #                               committed BENCH_SCHED.json (read-only)
+#   scripts/bench.sh sweep-gate  measure the oracle sweep-throughput rows
+#                               (serial-noreuse vs serial-pooled vs
+#                               parallel programs/sec) and fail if the
+#                               pooled/parallel speedup contract is broken
 #   scripts/bench.sh telemetry-gate [PCT]
 #                               measure the machine rows twice on this
 #                               machine — telemetry off and on, with the
@@ -29,6 +33,11 @@ if [ "$1" = "compare" ]; then
     go run ./cmd/experiments -bench-out "$tmp" "$@"
     go run ./cmd/experiments -bench-diff "BENCH_SCHED.json,$tmp"
     exit 0
+fi
+
+if [ "$1" = "sweep-gate" ]; then
+    shift
+    exec go run ./cmd/experiments -sweep-gate "$@"
 fi
 
 if [ "$1" = "telemetry-gate" ]; then
