@@ -31,6 +31,7 @@ func main() {
 	strategy := flag.String("strategy", "", "scheduling strategy (fcfs one-per-block optimal; empty = fcfs)")
 	schedBudget := flag.Int("sched-budget", 0, "search budget per block for the optimal strategy (0 = default, negative = unlimited)")
 	interpreted := flag.Bool("interpreted", false, "disable lowered blocks: VLIW Engine re-interprets scheduler slots")
+	noChain := flag.Bool("nochain", false, "disable direct block chaining: associative VLIW Cache lookup on every block transition")
 	showOutput := flag.Bool("output", false, "print the program's trap output")
 	dumpBlocks := flag.Int("dumpblocks", 0, "print the first N scheduled blocks (Figure 2c style)")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this path (open in Perfetto)")
@@ -54,6 +55,7 @@ func main() {
 	cfg.MaxInstrs = *max
 	cfg.TestMode = *testMode
 	cfg.InterpretedEngine = *interpreted
+	cfg.NoChain = *noChain
 	cfg.SchedStrategy = *strategy
 	cfg.SchedNodeBudget = *schedBudget
 	if *trace != "" || *profile {
@@ -106,6 +108,10 @@ func main() {
 	fmt.Printf("trace exits:         %d\n", s.Engine.TraceExits)
 	fmt.Printf("splits/copies:       %d/%d\n", s.Sched.Splits, s.Engine.CopiesExecuted)
 	fmt.Printf("aliasing exceptions: %d\n", s.AliasingExceptions)
+	if s.VCacheChainLinks > 0 || s.VCacheChainHits > 0 {
+		fmt.Printf("chain links/hits:    %d/%d (%.1f%% of vcache hits; %d unlinked)\n",
+			s.VCacheChainLinks, s.VCacheChainHits, 100*s.ChainHitRate(), s.VCacheChainUnlinks)
+	}
 	if s.Sched.RepackedBlocks > 0 {
 		fmt.Printf("repacked blocks:     %d (saved %d LIs, %d proven optimal, %d search nodes)\n",
 			s.Sched.RepackedBlocks, s.Sched.RepackSavedLIs, s.Sched.RepackProven, s.Sched.RepackNodes)

@@ -9,9 +9,9 @@
 //	experiments [-run fig5,table3] [-max N] [-csv] [-v] [-par N]
 //	            [-profile] [-profile-top N]
 //	            [-bench-out BENCH_SCHED.json] [-bench-interpreted]
-//	            [-bench-telemetry] [-bench-overhead-gate PCT]
+//	            [-bench-nochain] [-bench-telemetry] [-bench-overhead-gate PCT]
 //	            [-bench-diff OLD.json,NEW.json] [-bench-gate PCT]
-//	            [-sweep-gate]
+//	            [-bench-win-gate PCT] [-sweep-gate]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -bench-diff compares two benchmark reports entry by entry (ns/instr and
@@ -19,7 +19,10 @@
 // machine entry's ns/instr regressed by more than PCT percent.
 // -bench-interpreted measures the machine rows with the interpreted VLIW
 // Engine, producing the on-runner baseline the CI perf gate compares the
-// lowered engine against. -bench-telemetry measures the machine rows with
+// lowered engine against. -bench-nochain measures the machine rows with
+// direct block chaining disabled, the baseline of the chaining perf gate;
+// -bench-win-gate then requires at least half the machine rows to have
+// improved ns/instr by PCT percent. -bench-telemetry measures the machine rows with
 // the telemetry collector attached, giving overhead comparisons their
 // enabled-side report. -bench-overhead-gate measures the machine rows
 // telemetry-off and telemetry-on with interleaved reps in this one
@@ -58,6 +61,8 @@ func main() {
 		"with -bench-out: measure machine rows with the interpreted VLIW Engine (perf-gate baseline)")
 	benchTel := flag.Bool("bench-telemetry", false,
 		"with -bench-out: measure machine rows with telemetry enabled (overhead comparison side)")
+	benchNoChain := flag.Bool("bench-nochain", false,
+		"with -bench-out: measure machine rows with direct block chaining disabled (chaining perf-gate baseline)")
 	benchOverheadGate := flag.Float64("bench-overhead-gate", 0,
 		"measure machine rows telemetry-off vs -on with interleaved reps; fail past this percent ns/instr overhead (skips -run)")
 	profile := flag.Bool("profile", false,
@@ -67,6 +72,8 @@ func main() {
 		"compare two benchmark reports: OLD.json,NEW.json (skips -run)")
 	benchGate := flag.Float64("bench-gate", 0,
 		"with -bench-diff: fail if any machine entry's ns/instr regressed by more than this percent")
+	benchWinGate := flag.Float64("bench-win-gate", 0,
+		"with -bench-diff: fail unless at least half the machine entries improved ns/instr by this percent")
 	sweepGate := flag.Bool("sweep-gate", false,
 		"measure the oracle sweep-throughput rows and enforce the pooled/parallel speedup contract (skips -run)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
@@ -88,7 +95,7 @@ func main() {
 	}
 
 	o := experiments.Options{MaxInstrs: *max, TestMode: *test, Workers: *par,
-		InterpretedEngine: *benchInterp, Telemetry: *benchTel}
+		InterpretedEngine: *benchInterp, NoChain: *benchNoChain, Telemetry: *benchTel}
 	if *verbose {
 		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -149,6 +156,14 @@ func main() {
 				return
 			}
 			fmt.Fprintf(os.Stderr, "bench gate passed (threshold %+.1f%% ns/instr on machine entries)\n", *benchGate)
+		}
+		if *benchWinGate > 0 {
+			if err := experiments.GateBenchWins(deltas, *benchWinGate); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				exit(1)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "bench win gate passed (>= half the machine entries improved >= %.1f%% ns/instr)\n", *benchWinGate)
 		}
 		return
 	}

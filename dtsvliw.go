@@ -111,6 +111,12 @@ type Config struct {
 	// exits (paper §5 future work).
 	ExitPrediction bool
 
+	// NoChain disables direct block chaining in the VLIW Cache
+	// (DESIGN.md §16), reverting to an associative lookup on every block
+	// transition. Architecturally invisible either way; for
+	// cross-checking and perf baselines.
+	NoChain bool
+
 	// InterpretedEngine disables the decode-once lowered block form and
 	// makes the VLIW Engine re-interpret scheduler slots each execution
 	// (DESIGN.md §11). Behaviourally identical; for conformance sweeps
@@ -170,6 +176,7 @@ func (c Config) toInternal() (core.Config, error) {
 		base.StoreScheme = vliw.SchemeStoreList
 	}
 	base.ExitPrediction = c.ExitPrediction
+	base.NoChain = c.NoChain
 	base.InterpretedEngine = c.InterpretedEngine
 	base.SchedStrategy = c.SchedStrategy
 	base.SchedNodeBudget = c.SchedNodeBudget

@@ -72,6 +72,11 @@ type assembler struct {
 	hasEntry bool
 	textBase uint32
 	textEnd  uint32
+	// ops is the operand-split scratch buffer, reused across lines so the
+	// two-pass assembly of a large source costs O(1) slice allocations
+	// instead of one per instruction (the dominant allocation site of
+	// whole-workload benchmark rows).
+	ops []string
 }
 
 type secState struct {
@@ -172,12 +177,9 @@ func (a *assembler) doLine(lineNo int, raw string) error {
 		}
 	}
 
-	fields := strings.SplitN(line, " ", 2)
-	mn := strings.ToLower(strings.TrimSpace(fields[0]))
-	rest := ""
-	if len(fields) > 1 {
-		rest = strings.TrimSpace(fields[1])
-	}
+	head, tail, _ := strings.Cut(line, " ")
+	mn := strings.ToLower(strings.TrimSpace(head))
+	rest := strings.TrimSpace(tail)
 	// Tab-separated mnemonics.
 	if i := strings.IndexByte(mn, '\t'); i >= 0 {
 		rest = strings.TrimSpace(mn[i+1:] + " " + rest)
@@ -229,7 +231,7 @@ func (a *assembler) directive(lineNo int, mn, rest string) error {
 		return nil
 	case ".word", ".half", ".byte":
 		size := map[string]uint8{".word": 4, ".half": 2, ".byte": 1}[mn]
-		for _, part := range splitOperands(rest) {
+		for _, part := range a.splitOps(rest) {
 			v, err := a.eval(lineNo, part)
 			if err != nil {
 				return err
@@ -279,8 +281,11 @@ func (a *assembler) emit(lineNo int, in isa.Inst) error {
 }
 
 // splitOperands splits on commas that are not inside brackets or quotes.
-func splitOperands(s string) []string {
-	var out []string
+func splitOperands(s string) []string { return splitOperandsInto(s, nil) }
+
+// splitOperandsInto is splitOperands appending into out's storage; the
+// assembler passes its reusable scratch buffer.
+func splitOperandsInto(s string, out []string) []string {
 	depth := 0
 	inStr := false
 	start := 0
@@ -304,4 +309,12 @@ func splitOperands(s string) []string {
 		out = append(out, last)
 	}
 	return out
+}
+
+// splitOps splits rest into a's scratch buffer. The returned slice is
+// valid until the next splitOps call; operand evaluation never re-splits,
+// so each line's use is complete before the buffer is reused.
+func (a *assembler) splitOps(rest string) []string {
+	a.ops = splitOperandsInto(rest, a.ops[:0])
+	return a.ops
 }

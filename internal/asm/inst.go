@@ -144,11 +144,17 @@ func (a *assembler) term(lineNo int, t string) (uint32, error) {
 	case t == ".":
 		return a.cur.pc, nil
 	}
-	if n, err := strconv.ParseInt(t, 0, 64); err == nil {
-		return uint32(n), nil
-	}
-	if n, err := strconv.ParseUint(t, 0, 64); err == nil {
-		return uint32(n), nil
+	// Only terms starting with a digit (after an optional sign) can be
+	// numbers; guarding the parse keeps symbol references from paying a
+	// strconv error allocation each (symbols dominate terms in generated
+	// sources, and a failed ParseInt heap-allocates its *NumError).
+	if num := strings.TrimLeft(t, "+-"); num != "" && num[0] >= '0' && num[0] <= '9' {
+		if n, err := strconv.ParseInt(t, 0, 64); err == nil {
+			return uint32(n), nil
+		}
+		if n, err := strconv.ParseUint(t, 0, 64); err == nil {
+			return uint32(n), nil
+		}
 	}
 	if v, ok := a.symbols[t]; ok {
 		return v, nil
@@ -274,7 +280,7 @@ var fbranchConds = map[string]uint8{
 }
 
 func (a *assembler) instruction(lineNo int, mn, rest string) error {
-	ops := splitOperands(rest)
+	ops := a.splitOps(rest)
 	nOps := len(ops)
 
 	need := func(n int) error {

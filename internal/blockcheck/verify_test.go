@@ -60,6 +60,8 @@ func verifyConfigs() []oracle.NamedConfig {
 	nofwd.NoSourceForwarding = true
 	interp := core.IdealConfig(8, 8)
 	interp.InterpretedEngine = true
+	nochain := core.IdealConfig(8, 8)
+	nochain.NoChain = true
 	return []oracle.NamedConfig{
 		{Name: "ideal-8x8", Cfg: core.IdealConfig(8, 8)},
 		{Name: "ideal-4x4", Cfg: core.IdealConfig(4, 4)},
@@ -67,6 +69,7 @@ func verifyConfigs() []oracle.NamedConfig {
 		{Name: "multicycle", Cfg: multi},
 		{Name: "nofwd", Cfg: nofwd},
 		{Name: "interpreted", Cfg: interp},
+		{Name: "nochain", Cfg: nochain},
 	}
 }
 

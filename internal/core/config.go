@@ -61,6 +61,14 @@ type Config struct {
 	// sweeps (lowered-vs-interpreted lock-step) and debugging.
 	InterpretedEngine bool
 
+	// NoChain disables direct block chaining (DESIGN.md §16): block
+	// transitions in VLIW mode fall back to the legacy one-long-
+	// instruction-per-dispatch loop with an associative VLIW Cache lookup
+	// at every transition. Chaining is architecturally invisible — Stats,
+	// IPC and cycle ledgers are identical either way — so this switch
+	// exists for cross-checking and as the perf-gate baseline.
+	NoChain bool
+
 	// ExitPrediction enables next-long-instruction prediction (paper §5
 	// future work): a last-target predictor keyed by the deviating
 	// branch hides the one-cycle trace-exit bubble on a correct

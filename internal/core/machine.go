@@ -46,9 +46,18 @@ type Machine struct {
 	dc   *mem.Cache
 	pipe *primary.Pipeline
 
-	mode          Mode
-	predictor     map[uint32]uint32 // trace-exit target predictor
-	vpc           sched.LongAddr
+	mode      Mode
+	predictor map[uint32]uint32 // trace-exit target predictor
+	vpc       sched.LongAddr
+	// curLine is the VLIW Cache line of the block currently executing
+	// (vcache.NoLine outside VLIW mode), the source line for chain-link
+	// installation and Follow. Attribution is best-effort: a block save
+	// between the probe hit and block entry may relocate the line, which
+	// chain edges tolerate by construction (a present edge always targets
+	// the line an associative lookup would return; see vcache.Follow).
+	curLine int32
+	// engRes is the chained dispatch loop's reusable ExecLIInto result.
+	engRes        vliw.Result
 	seq           uint64 // sequential instructions covered so far
 	drain         int    // long instructions still draining from the last flush
 	skipProbe     bool   // suppress one VLIW Cache probe after a handover
@@ -139,7 +148,8 @@ func NewMachine(cfg Config, st *arch.State) (*Machine, error) {
 		cfg: cfg, St: st,
 		sch: sch, vc: vc, eng: vliw.New(st),
 		ic: ic, dc: dc,
-		pipe: primary.New(pcfg),
+		pipe:    primary.New(pcfg),
+		curLine: vcache.NoLine,
 	}
 	m.eng.SetScheme(cfg.StoreScheme)
 	if cfg.Telemetry != nil {
@@ -301,10 +311,13 @@ func (m *Machine) Run() error {
 			break
 		}
 		var err error
-		if m.mode == ModePrimary {
+		switch {
+		case m.mode == ModePrimary:
 			err = m.stepPrimary()
-		} else {
+		case m.cfg.NoChain:
 			err = m.stepVLIW()
+		default:
+			err = m.runVLIW()
 		}
 		if err != nil {
 			return err
@@ -352,6 +365,9 @@ func (m *Machine) harvestStats() {
 	m.Stats.ICacheAccesses, m.Stats.ICacheMisses = m.ic.Accesses, m.ic.Misses
 	m.Stats.DCacheAccesses, m.Stats.DCacheMisses = m.dc.Accesses, m.dc.Misses
 	m.Stats.VCacheHits, m.Stats.VCacheMisses = m.vc.Hits, m.vc.Misses
+	m.Stats.VCacheChainHits = m.vc.ChainHits
+	m.Stats.VCacheChainLinks = m.vc.ChainLinks
+	m.Stats.VCacheChainUnlinks = m.vc.ChainUnlinks
 }
 
 // stepPrimary executes one instruction on the Primary Processor, feeds it
@@ -364,7 +380,8 @@ func (m *Machine) stepPrimary() error {
 	// execute stage. On a hit the VLIW Engine takes over; the instruction
 	// is annulled before write-back and re-executed in VLIW mode.
 	if !m.skipProbe && m.excBudget == 0 {
-		if ent, ok := m.vc.Lookup(pc, m.St.CWP()); ok {
+		if ent, hitLine, ok := m.vc.LookupLine(pc, m.St.CWP()); ok {
+			m.curLine = hitLine
 			if err := m.saveBlock(m.sch.Flush(pc, m.seq)); err != nil {
 				return err
 			}
@@ -578,6 +595,188 @@ func (m *Machine) stepVLIW() error {
 	return nil
 }
 
+// chainLookup resolves the successor block at a block transition: first
+// through the current line's chain links, then by associative lookup —
+// installing the missing edge so the next visit follows the link
+// directly. Both paths perform identical hit/miss accounting, so
+// replacement order and statistics match a plain Lookup exactly.
+func (m *Machine) chainLookup(pc uint32, cwp uint8) (vcache.Entry, int32, bool) {
+	from := m.curLine
+	if from == vcache.NoLine {
+		return m.vc.LookupLine(pc, cwp)
+	}
+	if ent, line, ok := m.vc.Follow(from, pc, cwp); ok {
+		return ent, line, true
+	}
+	ent, line, ok := m.vc.LookupLine(pc, cwp)
+	if ok {
+		m.vc.Link(from, pc, cwp, line)
+	}
+	return ent, line, ok
+}
+
+// runVLIW is the chained superstep (DESIGN.md §16): stepVLIW looped, so
+// runs of cache-resident blocks execute back-to-back without returning to
+// Run's dispatch. Block transitions resolve through the chain links on
+// the VLIW Cache lines; control returns to the machine loop only on a
+// handover to the Primary Processor (chain-or-lookup miss, exception) or
+// when a cycle/instruction limit is reached (Run re-checks the limits and
+// produces the canonical outcome). The loop is architecturally invisible:
+// cycle accounting, limit-check points, statistics, telemetry ordering
+// and checkpoint sequence are identical to the -nochain per-step path.
+func (m *Machine) runVLIW() error {
+	blk := m.eng.Block()
+	res := &m.engRes
+	// Without telemetry nothing observes Stats or the drain counter
+	// between long instructions, so intra-block cycles accumulate in
+	// pending and flush in one addCycles at every point something could
+	// look — block transitions, exceptions, limit returns. The flushed
+	// totals and the clamped drain decrement compose to exactly the
+	// per-LI values (the decrement is monotonic), so Stats are identical;
+	// with telemetry attached every cycle is stamped per-LI as before.
+	batch := m.tel == nil
+	logStores := m.St.LogStores
+	pending := 0
+	for {
+		if m.cfg.MaxCycles > 0 && m.Stats.Cycles+uint64(pending) >= m.cfg.MaxCycles {
+			break
+		}
+		if m.cfg.MaxInstrs > 0 && m.seq >= m.cfg.MaxInstrs {
+			break
+		}
+		m.eng.ExecLIInto(m.vpc.Line, res)
+
+		cycles := 1 + res.RecoveryCycles
+		for _, a := range res.MemAddrs {
+			cycles += m.dc.Access(a)
+		}
+
+		if logStores {
+			// Harmless on the exception path below: an exception result
+			// carries no stores.
+			m.journal = append(m.journal, res.Stores...)
+		}
+
+		if !res.Exception && !res.TraceExit && m.vpc.Line != blk.NBA.Line {
+			// Intra-block advance, the hot path of a chained run.
+			m.vpc.Line++
+			if batch {
+				pending += cycles
+			} else {
+				m.addCycles(cycles, true)
+			}
+			continue
+		}
+		if pending > 0 {
+			m.addCycles(pending, true)
+			pending = 0
+		}
+
+		if res.Exception {
+			// Recovery already restored the block-entry checkpoint; resume
+			// on the Primary Processor at the block's first instruction.
+			if m.tel != nil {
+				m.tel.Exception(blk.Tag, res.Aliasing)
+				m.tel.ExitBlock(blk.Tag, telemetry.ExitException, blk.Tag, 0)
+			}
+			if res.Aliasing {
+				m.Stats.AliasingExceptions++
+				m.vc.Invalidate(blk.Tag, blk.EntryCWP)
+				m.sch.MarkConservative(blk.Tag, blk.EntryCWP)
+			} else {
+				m.Stats.OtherExceptions++
+				m.excBudget = blk.EndSeq - blk.FirstSeq
+				m.pendingExcErr = res.Err
+			}
+			m.switchToPrimary(blk.Tag, &cycles)
+			m.addCycles(cycles, true)
+			where := fmt.Sprintf("rollback of block %#08x (%v)", blk.Tag, res.Err)
+			if m.Ref != nil {
+				// The rollback must land exactly on the test machine's state.
+				if err := m.compare(where); err != nil {
+					return err
+				}
+			}
+			return m.notifyCheckpoint(0, blk.Tag, where)
+		}
+
+		switch {
+		case res.TraceExit:
+			// A branch left the recorded trace: one-cycle bubble, then
+			// fetch from the actual target (paper §3.5).
+			m.seq += res.ExitAdvance
+			if m.tel != nil {
+				m.tel.ExitBlock(blk.Tag, telemetry.ExitTrace, res.NextPC, res.ExitAdvance)
+			}
+			if m.predictor != nil {
+				hit := m.predictor[res.ExitBranch] == res.NextPC
+				if hit {
+					m.Stats.ExitPredHits++
+				} else {
+					m.predictor[res.ExitBranch] = res.NextPC
+					m.Stats.ExitPredMisses++
+					cycles++
+				}
+				if m.tel != nil {
+					m.tel.ExitPrediction(hit, res.ExitBranch, res.NextPC)
+				}
+			} else {
+				cycles++
+			}
+			cycles += m.eng.FlushPending(m.vpc.Line)
+			if err := m.endBlockDrain(); err != nil {
+				return err
+			}
+			if err := m.syncRef(res.ExitAdvance, res.NextPC, "trace exit"); err != nil {
+				return err
+			}
+			if ent, line, ok := m.chainLookup(res.NextPC, m.St.CWP()); ok {
+				m.beginBlock(ent)
+				m.vpc = sched.LongAddr{Addr: res.NextPC, Line: 0}
+				m.curLine = line
+				m.addCycles(cycles, true)
+				blk = m.eng.Block()
+				continue
+			}
+			m.switchToPrimary(res.NextPC, &cycles)
+			m.addCycles(cycles, true)
+			return nil
+
+		default:
+			// Last long instruction: follow the next block address store.
+			advance := blk.EndSeq - blk.FirstSeq
+			m.seq += advance
+			next := blk.NBA.Addr
+			if m.tel != nil {
+				m.tel.ExitBlock(blk.Tag, telemetry.ExitFallthru, next, advance)
+			}
+			cycles += m.eng.FlushPending(m.vpc.Line)
+			if err := m.endBlockDrain(); err != nil {
+				return err
+			}
+			if err := m.syncRef(advance, next, "block end"); err != nil {
+				return err
+			}
+			if ent, line, ok := m.chainLookup(next, m.St.CWP()); ok {
+				cycles += m.cfg.NextLIMissPenalty
+				m.beginBlock(ent)
+				m.vpc = sched.LongAddr{Addr: next, Line: 0}
+				m.curLine = line
+				m.addCycles(cycles, true)
+				blk = m.eng.Block()
+				continue
+			}
+			m.switchToPrimary(next, &cycles)
+			m.addCycles(cycles, true)
+			return nil
+		}
+	}
+	if pending > 0 {
+		m.addCycles(pending, true)
+	}
+	return nil
+}
+
 // endBlockDrain transfers the data store list to memory when the
 // store-list scheme is active (no-op under the checkpoint scheme).
 func (m *Machine) endBlockDrain() error {
@@ -593,6 +792,7 @@ func (m *Machine) endBlockDrain() error {
 
 func (m *Machine) switchToPrimary(pc uint32, cycles *int) {
 	m.mode = ModePrimary
+	m.curLine = vcache.NoLine
 	m.St.PC = pc
 	m.skipProbe = true
 	m.pipe.FlushState()
@@ -719,6 +919,7 @@ func (m *Machine) Reset() {
 		clear(m.predictor)
 	}
 	m.vpc = sched.LongAddr{}
+	m.curLine = vcache.NoLine
 	m.seq = 0
 	m.drain = 0
 	m.skipProbe = false

@@ -35,6 +35,15 @@ type Stats struct {
 	DCacheAccesses, DCacheMisses uint64
 	VCacheHits, VCacheMisses     uint64
 
+	// Chain-link dispatch counters (DESIGN.md §16). They describe the
+	// simulator's dispatch mechanism, not the simulated machine: a chain
+	// hit is also counted in VCacheHits, and all other Stats fields are
+	// identical with chaining on or off (Config.NoChain). Always zero in
+	// -nochain runs.
+	VCacheChainHits    uint64 // transitions resolved through a chain link
+	VCacheChainLinks   uint64 // exit edges installed
+	VCacheChainUnlinks uint64 // exit edges severed by replacement/invalidation
+
 	Sched  sched.Stats
 	Engine vliw.Stats
 }
@@ -81,6 +90,16 @@ func (s *Stats) VCacheHitRate() float64 {
 		return 0
 	}
 	return float64(s.VCacheHits) / float64(total)
+}
+
+// ChainHitRate returns the fraction of VLIW Cache hits that were
+// resolved through a direct chain link instead of an associative lookup
+// (0 in -nochain runs).
+func (s *Stats) ChainHitRate() float64 {
+	if s.VCacheHits == 0 {
+		return 0
+	}
+	return float64(s.VCacheChainHits) / float64(s.VCacheHits)
 }
 
 // SwitchRate returns engine handovers (both directions) per thousand

@@ -117,6 +117,7 @@ func BenchSched(o Options) (*BenchReport, error) {
 	for _, w := range workloads.All() {
 		for _, mc := range benchMachineConfigs() {
 			mc.cfg.InterpretedEngine = o.InterpretedEngine
+			mc.cfg.NoChain = o.NoChain
 			var m *core.Machine
 			var elapsed time.Duration
 			var allocs, bytes uint64
@@ -301,6 +302,7 @@ func BenchTelemetryOverhead(o Options) ([]BenchDelta, error) {
 	for _, w := range workloads.All() {
 		for _, mc := range benchMachineConfigs() {
 			mc.cfg.InterpretedEngine = o.InterpretedEngine
+			mc.cfg.NoChain = o.NoChain
 			var ns, al [2]float64 // index 0 = telemetry off, 1 = on
 			for rep := 0; rep < benchMachineReps; rep++ {
 				for side, tel := range []bool{false, true} {

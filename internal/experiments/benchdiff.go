@@ -159,6 +159,37 @@ func FormatBenchDiff(deltas []BenchDelta) string {
 	return b.String()
 }
 
+// GateBenchWins enforces a speedup contract over the machine rows: at
+// least half of them must have improved ns/instr by minPct percent or
+// more (NsPct <= -minPct) between the baseline ("old") and optimised
+// ("new") report. CI uses it for the chaining perf gate, where both
+// reports are measured on the same runner back to back, so the deltas
+// are regressions/improvements rather than cross-host trajectories.
+func GateBenchWins(deltas []BenchDelta, minPct float64) error {
+	total, wins := 0, 0
+	var losers []string
+	for _, d := range deltas {
+		if d.Kind != "machine" {
+			continue
+		}
+		total++
+		if d.NsPct <= -minPct {
+			wins++
+		} else {
+			losers = append(losers, fmt.Sprintf("%s: %.1f -> %.1f ns/instr (%+.1f%%)",
+				d.label(), d.OldNs, d.NewNs, d.NsPct))
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("bench win gate: no machine rows matched")
+	}
+	if 2*wins < total {
+		return fmt.Errorf("bench win gate: only %d/%d machine rows improved >= %.1f%% ns/instr; short of half:\n  %s",
+			wins, total, minPct, strings.Join(losers, "\n  "))
+	}
+	return nil
+}
+
 // GateBenchDiff fails if any machine or sweep entry's ns/instr regressed
 // by more than maxPct percent. The sched-feed microbenchmark rows are
 // reported but too noisy at CI benchtime to hard-fail on, and rows

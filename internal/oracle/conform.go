@@ -32,8 +32,9 @@ type NamedConfig struct {
 // DefaultConfigs returns the machine configurations the conformance sweep
 // rotates through: the paper's ideal geometries, the feasible machine,
 // and one variant per orthogonal mechanism (multicycle latencies, the
-// §3.11 data-store-list scheme, next-long-instruction prediction, and
-// the no-source-forwarding ablation).
+// §3.11 data-store-list scheme, next-long-instruction prediction, the
+// no-source-forwarding ablation, the interpreted engine, and unchained
+// block dispatch).
 func DefaultConfigs() []NamedConfig {
 	multi := core.IdealConfig(8, 8)
 	multi.LoadLatency, multi.FPLatency, multi.FPDivLatency = 2, 2, 8
@@ -50,6 +51,9 @@ func DefaultConfigs() []NamedConfig {
 	interp := core.IdealConfig(8, 8)
 	interp.InterpretedEngine = true
 
+	nochain := core.IdealConfig(8, 8)
+	nochain.NoChain = true
+
 	return []NamedConfig{
 		{"ideal-4x4", core.IdealConfig(4, 4)},
 		{"ideal-8x8", core.IdealConfig(8, 8)},
@@ -61,6 +65,7 @@ func DefaultConfigs() []NamedConfig {
 		{"exitpred", exitpred},
 		{"nofwd", nofwd},
 		{"interpreted", interp},
+		{"nochain", nochain},
 	}
 }
 

@@ -3,6 +3,12 @@
 // ISA address of the first instruction placed in the block, with a next
 // block address (nba) store per line. Long instructions within a block are
 // addressed by {address field, line index} pairs.
+//
+// Beyond the paper's structure, lines carry direct chain links (DESIGN.md
+// §16): each line records, per exit (PC, CWP), the index of the line
+// holding the successor block, so the machine can stream from block to
+// block without an associative lookup per transition — the software
+// analogue of translation-block chaining in dynamic binary translators.
 package vcache
 
 import (
@@ -38,12 +44,32 @@ func (c Config) Blocks() int {
 	return n
 }
 
+// chainMaxEdges bounds the per-line successor table. Hot blocks exit to
+// very few distinct targets (the fall-through NBA plus a handful of trace
+// exits); a full table keeps its first-installed edges — a deterministic
+// policy, so runs are reproducible — and later targets simply keep paying
+// the associative lookup.
+const chainMaxEdges = 8
+
+// chainEdge is one exit link: the block in this line, when it exits to
+// (pc, cwp), continues in line to.
+type chainEdge struct {
+	pc  uint32
+	cwp uint8
+	to  int32
+}
+
+// NoLine is the line index returned when a lookup misses; Machine code
+// uses it as the "not executing from a cached line" sentinel.
+const NoLine int32 = -1
+
 // Cache is the VLIW Cache.
 type Cache struct {
-	cfg   Config
-	sets  int
-	lines []line // sets*assoc
-	clock uint64
+	cfg     Config
+	sets    int
+	setMask uint32 // sets-1; sets is a power of two
+	lines   []line // sets*assoc
+	clock   uint64
 	// used records the index of every line that has held a block since
 	// the last Drain, so resetting a reused cache touches O(stores)
 	// lines instead of zeroing the whole (multi-megabyte, mostly empty)
@@ -55,6 +81,14 @@ type Cache struct {
 	Stores     uint64 // blocks saved
 	Replaced   uint64 // valid blocks evicted
 	Invalidats uint64
+
+	// Chain-link statistics: ChainHits counts transitions resolved by
+	// Follow (each also counts in Hits — a chain hit is architecturally a
+	// cache hit), ChainLinks edges installed, ChainUnlinks edges severed
+	// by replacement or invalidation.
+	ChainHits    uint64
+	ChainLinks   uint64
+	ChainUnlinks uint64
 
 	tel *telemetry.Collector // nil when telemetry is disabled
 }
@@ -68,6 +102,13 @@ type line struct {
 	cwp   uint8
 	ent   Entry
 	lru   uint64
+
+	// edges is the outbound successor table; inRefs lists every line
+	// holding an edge that targets this line, so unlink can sever all
+	// inbound links in O(degree) when the line is replaced or
+	// invalidated. Both keep their capacity across clears.
+	edges  []chainEdge
+	inRefs []int32
 }
 
 // Entry is one cache line's payload: the scheduled block and, when the
@@ -92,6 +133,16 @@ func New(cfg Config) (*Cache, error) {
 	if c.sets == 0 {
 		c.sets = 1
 	}
+	// Round the set count up to a power of two so the index computation
+	// is a mask instead of a modulo. The capacity model rounds up with
+	// it; DESIGN.md §16 records the deviation from the paper's exact
+	// byte budget.
+	pow := 1
+	for pow < c.sets {
+		pow <<= 1
+	}
+	c.sets = pow
+	c.setMask = uint32(pow - 1)
 	c.lines = make([]line, c.sets*cfg.Assoc)
 	return c, nil
 }
@@ -99,14 +150,24 @@ func New(cfg Config) (*Cache, error) {
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Sets returns the number of sets (a power of two).
+func (c *Cache) Sets() int { return c.sets }
+
 // set maps a block tag (SPARC instruction address) to its set index.
-func (c *Cache) set(tag uint32) int { return int(tag>>2) % c.sets }
+func (c *Cache) set(tag uint32) int { return int((tag >> 2) & c.setMask) }
 
 // Lookup finds the block tagged with (addr, cwp). The window pointer is
 // part of the tag: the physical register addresses recorded in a block are
 // only valid at the window depth the block was scheduled at (see DESIGN.md
 // §5). It counts a hit or miss.
 func (c *Cache) Lookup(addr uint32, cwp uint8) (Entry, bool) {
+	ent, _, ok := c.LookupLine(addr, cwp)
+	return ent, ok
+}
+
+// LookupLine is Lookup returning also the index of the hit line (NoLine
+// on a miss), so the machine can chain from it.
+func (c *Cache) LookupLine(addr uint32, cwp uint8) (Entry, int32, bool) {
 	base := c.set(addr) * c.cfg.Assoc
 	for i := 0; i < c.cfg.Assoc; i++ {
 		l := &c.lines[base+i]
@@ -114,14 +175,14 @@ func (c *Cache) Lookup(addr uint32, cwp uint8) (Entry, bool) {
 			c.clock++
 			l.lru = c.clock
 			c.Hits++
-			return l.ent, true
+			return l.ent, int32(base + i), true
 		}
 	}
 	c.Misses++
 	if c.tel != nil {
 		c.tel.CacheMiss(telemetry.EvVCacheMiss, addr)
 	}
-	return Entry{}, false
+	return Entry{}, NoLine, false
 }
 
 // Probe is Lookup without statistics, for callers that only test presence.
@@ -134,6 +195,96 @@ func (c *Cache) Probe(addr uint32, cwp uint8) (Entry, bool) {
 		}
 	}
 	return Entry{}, false
+}
+
+// Follow consults line from's successor table for a link to (pc, cwp).
+// On a hit it performs exactly Lookup's hit bookkeeping — clock advance,
+// LRU touch, hit count — so a chained run leaves the cache in the state
+// an unchained run would: replacement decisions, statistics and telemetry
+// are identical either way (the architectural-invisibility contract).
+// Precise unlinking guarantees a present edge always targets the valid
+// line holding (pc, cwp), so no tag re-validation is needed.
+func (c *Cache) Follow(from int32, pc uint32, cwp uint8) (Entry, int32, bool) {
+	l := &c.lines[from]
+	for i := range l.edges {
+		e := &l.edges[i]
+		if e.pc == pc && e.cwp == cwp {
+			t := &c.lines[e.to]
+			c.clock++
+			t.lru = c.clock
+			c.Hits++
+			c.ChainHits++
+			return t.ent, e.to, true
+		}
+	}
+	return Entry{}, NoLine, false
+}
+
+// Link installs the exit edge (pc, cwp) -> to on line from, recording the
+// inbound reference on the target so unlink can sever it. Installing an
+// edge that already exists, or one past the per-line table bound, is a
+// no-op; either way the next Follow behaves deterministically.
+func (c *Cache) Link(from int32, pc uint32, cwp uint8, to int32) {
+	l := &c.lines[from]
+	if !l.valid || !c.lines[to].valid || len(l.edges) >= chainMaxEdges {
+		return
+	}
+	for i := range l.edges {
+		if l.edges[i].pc == pc && l.edges[i].cwp == cwp {
+			return
+		}
+	}
+	l.edges = append(l.edges, chainEdge{pc: pc, cwp: cwp, to: to})
+	c.lines[to].inRefs = append(c.lines[to].inRefs, from)
+	c.ChainLinks++
+	if c.tel != nil {
+		c.tel.ChainLinked(l.tag, pc)
+	}
+}
+
+// unlink severs every chain edge touching line v: inbound edges (other
+// lines whose successor table targets v, found through v's back-pointer
+// list) and v's own outbound edges (removing v from its successors'
+// back-pointer lists). Called before any overwrite or invalidation of a
+// valid line, so a window-pointer change, set replacement or aliasing
+// invalidation can never leave a link to a stale line behind.
+func (c *Cache) unlink(v int32) {
+	l := &c.lines[v]
+	severed := uint64(0)
+	for _, from := range l.inRefs {
+		f := &c.lines[from]
+		for i := 0; i < len(f.edges); {
+			if f.edges[i].to == v {
+				f.edges[i] = f.edges[len(f.edges)-1]
+				f.edges = f.edges[:len(f.edges)-1]
+				severed++
+			} else {
+				i++
+			}
+		}
+	}
+	l.inRefs = l.inRefs[:0]
+	// A self-loop edge was already removed by the inbound walk above, so
+	// the outbound walk only sees edges to other lines.
+	for _, e := range l.edges {
+		t := &c.lines[e.to]
+		for i := 0; i < len(t.inRefs); {
+			if t.inRefs[i] == v {
+				t.inRefs[i] = t.inRefs[len(t.inRefs)-1]
+				t.inRefs = t.inRefs[:len(t.inRefs)-1]
+			} else {
+				i++
+			}
+		}
+		severed++
+	}
+	l.edges = l.edges[:0]
+	if severed > 0 {
+		c.ChainUnlinks += severed
+		if c.tel != nil {
+			c.tel.ChainUnlinked(l.tag, severed)
+		}
+	}
 }
 
 // Save stores a block and its (possibly nil) lowered form, replacing the
@@ -156,10 +307,17 @@ func (c *Cache) Save(b *sched.Block, low *vliw.LoweredBlock) {
 			victim = base + i
 		}
 	}
-	if c.lines[victim].valid && (c.lines[victim].tag != b.Tag || c.lines[victim].cwp != b.EntryCWP) {
-		c.Replaced++
-		if c.tel != nil {
-			c.tel.BlockEvicted(c.lines[victim].tag)
+	if c.lines[victim].valid {
+		// Every overwrite severs the victim's chain edges — including a
+		// same-tag reschedule, whose cached lowered form is replaced, so
+		// a link must re-resolve through Lookup before it is trusted
+		// again.
+		c.unlink(int32(victim))
+		if c.lines[victim].tag != b.Tag || c.lines[victim].cwp != b.EntryCWP {
+			c.Replaced++
+			if c.tel != nil {
+				c.tel.BlockEvicted(c.lines[victim].tag)
+			}
 		}
 	}
 	if !c.lines[victim].valid {
@@ -169,17 +327,20 @@ func (c *Cache) Save(b *sched.Block, low *vliw.LoweredBlock) {
 	if c.tel != nil {
 		ent.Prof = c.tel.Profile(b.Tag)
 	}
-	c.lines[victim] = line{valid: true, tag: b.Tag, cwp: b.EntryCWP,
-		ent: ent, lru: c.clock}
+	vl := &c.lines[victim]
+	*vl = line{valid: true, tag: b.Tag, cwp: b.EntryCWP,
+		ent: ent, lru: c.clock,
+		edges: vl.edges[:0], inRefs: vl.inRefs[:0]}
 }
 
 // Invalidate drops the block tagged (addr, cwp) (paper §3.11: aliasing
-// exceptions invalidate the faulting block).
+// exceptions invalidate the faulting block), severing its chain edges.
 func (c *Cache) Invalidate(addr uint32, cwp uint8) {
 	base := c.set(addr) * c.cfg.Assoc
 	for i := 0; i < c.cfg.Assoc; i++ {
 		l := &c.lines[base+i]
 		if l.valid && l.tag == addr && l.cwp == cwp {
+			c.unlink(int32(base + i))
 			l.valid = false
 			c.Invalidats++
 			if c.tel != nil {
@@ -197,14 +358,19 @@ func (c *Cache) Reset() {
 // Drain clears the cache like Reset, handing every valid entry to fn (when
 // non-nil) before it is dropped, so callers can recycle block storage —
 // the machine pool returns drained blocks to the scheduler's block pool.
+// Chain edges die with their lines wholesale (the per-edge unlink walk
+// would be pure overhead when everything goes); edge and back-pointer
+// storage keeps its capacity for the next run.
 func (c *Cache) Drain(fn func(Entry)) {
 	for _, i := range c.used {
-		if fn != nil && c.lines[i].valid {
-			fn(c.lines[i].ent)
+		l := &c.lines[i]
+		if fn != nil && l.valid {
+			fn(l.ent)
 		}
-		c.lines[i] = line{}
+		*l = line{edges: l.edges[:0], inRefs: l.inRefs[:0]}
 	}
 	c.used = c.used[:0]
 	c.clock = 0
 	c.Hits, c.Misses, c.Stores, c.Replaced, c.Invalidats = 0, 0, 0, 0, 0
+	c.ChainHits, c.ChainLinks, c.ChainUnlinks = 0, 0, 0
 }

@@ -124,7 +124,9 @@ func TestManyBlocksChurn(t *testing.T) {
 			hits++
 		}
 	}
-	capBlocks := c.Config().Blocks()
+	// Physical capacity is Sets()*Assoc: the set count is rounded up to a
+	// power of two, so it can exceed the byte-budget Blocks() model.
+	capBlocks := c.Sets() * c.Config().Assoc
 	if hits == 0 || hits > capBlocks {
 		t.Fatalf("hits %d, capacity %d", hits, capBlocks)
 	}

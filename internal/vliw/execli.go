@@ -17,14 +17,24 @@ import (
 // Result.MemAddrs and Result.Stores alias engine-owned scratch arenas and
 // are valid only until the next ExecLI call.
 func (e *Engine) ExecLI(line int) Result {
-	if e.lb != nil {
-		return e.execLoweredLI(line)
-	}
 	var res Result
+	e.ExecLIInto(line, &res)
+	return res
+}
+
+// ExecLIInto is ExecLI writing its result into *res, which is reset
+// first. A chained dispatch loop reuses one Result across an entire run
+// of blocks instead of copying the struct out per long instruction.
+func (e *Engine) ExecLIInto(line int, res *Result) {
+	*res = Result{}
+	if e.lb != nil {
+		e.execLoweredLIInto(line, res)
+		return
+	}
 	if e.block == nil || line < 0 || line >= e.block.NumLIs {
 		res.Exception = true
 		res.Err = fmt.Errorf("vliw: no long instruction %d", line)
-		return res
+		return
 	}
 	li := e.block.LIs[line]
 	e.Stats.LIsExecuted++
@@ -90,7 +100,7 @@ func (e *Engine) ExecLI(line int) Result {
 				res.Exception = true
 				res.Aliasing = isAliasing(err)
 				res.Err = err
-				return res
+				return
 			}
 			e.Stats.CopiesExecuted++
 			continue
@@ -114,7 +124,7 @@ func (e *Engine) ExecLI(line int) Result {
 			res.RecoveryCycles = e.recover()
 			res.Exception = true
 			res.Err = err
-			return res
+			return
 		}
 		if out.Trap {
 			// Non-schedulable instructions never reach blocks; a trapping
@@ -123,7 +133,7 @@ func (e *Engine) ExecLI(line int) Result {
 			res.RecoveryCycles = e.recover()
 			res.Exception = true
 			res.Err = fmt.Errorf("vliw: trap %d inside block at %#08x", out.TrapNum, s.Addr)
-			return res
+			return
 		}
 
 		due := line + s.LatOr1() - 1
@@ -164,11 +174,11 @@ func (e *Engine) ExecLI(line int) Result {
 		res.Exception = true
 		res.Aliasing = true
 		res.Err = err
-		return res
+		return
 	}
 
-	if !e.commitLI(line, &res) {
-		return res
+	if !e.commitLI(line, res) {
+		return
 	}
 
 	e.Stats.OpsCommitted += uint64(committed)
@@ -187,7 +197,7 @@ func (e *Engine) ExecLI(line int) Result {
 		res.ExitAdvance = exitSeq - e.block.FirstSeq + 1
 		res.ExitBranch = exitBranch
 	}
-	return res
+	return
 }
 
 // resetScratch readies the per-LI scratch arenas for a new long

@@ -110,14 +110,14 @@ func (e *Engine) lemitD(op *lop, v float64, due int) {
 	e.lemitF(op.d1, uint32(bits), due)
 }
 
-// execLoweredLI is ExecLI over the lowered form of the current block.
-func (e *Engine) execLoweredLI(line int) Result {
-	var res Result
+// execLoweredLIInto is ExecLIInto over the lowered form of the current
+// block; *res has already been reset by the caller.
+func (e *Engine) execLoweredLIInto(line int, res *Result) {
 	lb := e.lb
 	if line < 0 || line >= len(lb.lines) {
 		res.Exception = true
 		res.Err = fmt.Errorf("vliw: no long instruction %d", line)
-		return res
+		return
 	}
 	ll := &lb.lines[line]
 	e.Stats.LIsExecuted++
@@ -172,7 +172,7 @@ func (e *Engine) execLoweredLI(line int) Result {
 				res.Exception = true
 				res.Aliasing = isAliasing(err)
 				res.Err = err
-				return res
+				return
 			}
 			e.Stats.CopiesExecuted++
 			continue
@@ -191,7 +191,7 @@ func (e *Engine) execLoweredLI(line int) Result {
 			res.RecoveryCycles = e.recover()
 			res.Exception = true
 			res.Err = err
-			return res
+			return
 		}
 	}
 
@@ -203,11 +203,11 @@ func (e *Engine) execLoweredLI(line int) Result {
 		res.Exception = true
 		res.Aliasing = true
 		res.Err = err
-		return res
+		return
 	}
 
-	if !e.commitLI(line, &res) {
-		return res
+	if !e.commitLI(line, res) {
+		return
 	}
 
 	e.Stats.OpsCommitted += uint64(committed)
@@ -226,7 +226,7 @@ func (e *Engine) execLoweredLI(line int) Result {
 		res.ExitAdvance = exitSeq - e.block.FirstSeq + 1
 		res.ExitBranch = exitBranch
 	}
-	return res
+	return
 }
 
 // resolveLoweredBranch is resolveBranch over pre-resolved handles.
