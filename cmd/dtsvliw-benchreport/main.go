@@ -1,0 +1,80 @@
+// Command dtsvliw-benchreport renders the repo's performance trajectory:
+// it reads BENCH_SCHED.json snapshots — the committed baseline, explicit
+// files, and/or the bench_history/ directory scripts/bench.sh archive
+// maintains — and emits a per-row markdown table (plus optional JSON) of
+// ns/instr and allocs/instr across snapshots, flagging rows whose last
+// step regressed past the bench-gate threshold.
+//
+// Examples:
+//
+//	dtsvliw-benchreport -history bench_history -out report.md
+//	dtsvliw-benchreport BENCH_SCHED.json new.json -gate 10
+//	dtsvliw-benchreport -history bench_history BENCH_SCHED.json -json report.json
+//
+// Snapshots are ordered: bench_history/ files first (lexicographic, i.e.
+// chronological — the archive names them <timestamp>-<sha>.json), then
+// positional files in the order given. With -gate the exit status is 1
+// when any machine or sweep row's final step regressed ns/instr by more
+// than PCT percent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtsvliw/internal/experiments"
+)
+
+func main() {
+	history := flag.String("history", "", "directory of archived BENCH_SCHED.json snapshots (scripts/bench.sh archive)")
+	out := flag.String("out", "-", "write the markdown report to this path (- = stdout)")
+	jsonOut := flag.String("json", "", "also write the trajectory as JSON to this path (- = stdout)")
+	gate := flag.Float64("gate", 0, "flag rows whose last step regressed ns/instr by more than this percent, and exit 1 if any did")
+	flag.Parse()
+
+	var points []experiments.TrajectoryPoint
+	if *history != "" {
+		hist, err := experiments.LoadHistory(*history)
+		if err != nil {
+			fatal(err)
+		}
+		points = append(points, hist...)
+	}
+	for _, path := range flag.Args() {
+		p, err := experiments.LoadPoint(path)
+		if err != nil {
+			fatal(err)
+		}
+		points = append(points, p)
+	}
+	if len(points) == 0 {
+		fmt.Fprintln(os.Stderr, "dtsvliw-benchreport: no snapshots (use -history and/or list files)")
+		os.Exit(2)
+	}
+
+	t := experiments.BuildTrajectory(points, *gate)
+	if err := experiments.WriteFileOrStdout(*out, []byte(t.Markdown())); err != nil {
+		fatal(err)
+	}
+	if *jsonOut != "" {
+		b, err := t.WriteJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteFileOrStdout(*jsonOut, append(b, '\n')); err != nil {
+			fatal(err)
+		}
+	}
+	if regs := t.Regressions(); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "benchreport:", r)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtsvliw-benchreport:", err)
+	os.Exit(1)
+}

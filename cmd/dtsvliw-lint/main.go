@@ -31,6 +31,11 @@ var defaultTargets = []string{
 	// pooled machine contexts are held to the same standard.
 	"dtsvliw/internal/oracle",
 	"dtsvliw/internal/core",
+	// Metrics snapshots/dumps are diffed byte-for-byte in tests, and the
+	// introspection server renders them; both must stay deterministic
+	// (introspect's uptime stamp carries a determinism:allow).
+	"dtsvliw/internal/metrics",
+	"dtsvliw/internal/introspect",
 }
 
 func main() {

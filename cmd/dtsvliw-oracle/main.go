@@ -28,9 +28,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"dtsvliw/internal/introspect"
 	"dtsvliw/internal/oracle"
 	"dtsvliw/internal/progen"
 )
@@ -50,6 +53,9 @@ func main() {
 		noReuse = flag.Bool("noreuse", false, "rebuild every machine from scratch instead of reusing pooled contexts (slower; identical results)")
 		ff      = flag.Uint64("fast-forward", 0, "execute the first N instructions of every program at interpreter speed before cycle-accurate simulation")
 		verbose = flag.Bool("v", false, "print per-run progress")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /statusz and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
+		progress    = flag.Bool("progress", true, "print a one-line progress summary to stderr every 2s on long runs")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -101,7 +107,64 @@ func main() {
 		}
 	}
 
+	// Wrap Progress with lock-free counters feeding the periodic summary
+	// and /statusz; the simulation itself never blocks on either reader.
+	var doneCount, failCount atomic.Int64
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > opts.N {
+		workers = opts.N
+	}
+	inner := opts.Progress
+	opts.Progress = func(done, total int, f *oracle.Failure) {
+		doneCount.Store(int64(done))
+		if f != nil {
+			failCount.Add(1)
+		}
+		if inner != nil {
+			inner(done, total, f)
+		}
+	}
+
 	start := time.Now()
+	if *metricsAddr != "" {
+		srv, err := introspect.Serve(*metricsAddr, introspect.Options{
+			Program: "dtsvliw-oracle",
+			Args:    os.Args[1:],
+			Status: func() introspect.Status {
+				return introspect.Status{
+					Config: map[string]string{
+						"n": fmt.Sprint(opts.N), "seed": fmt.Sprint(opts.Seed),
+						"shapes": *shapes, "configs": *configs,
+						"engines": fmt.Sprint(*engines), "workers": fmt.Sprint(workers),
+					},
+					Progress: &introspect.Progress{
+						Done: int(doneCount.Load()), Total: opts.N, Workers: workers,
+					},
+				}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtsvliw-oracle:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "oracle: introspection on http://%s\n", srv.Addr())
+	}
+	if *progress {
+		ticker := time.NewTicker(2 * time.Second)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				d := doneCount.Load()
+				rate := float64(d) / time.Since(start).Seconds()
+				fmt.Fprintf(os.Stderr, "oracle: %d/%d programs (%.0f/s, %d workers, %d failures)\n",
+					d, opts.N, rate, workers, failCount.Load())
+			}
+		}()
+	}
 	rep := oracle.Sweep(opts)
 	elapsed := time.Since(start)
 

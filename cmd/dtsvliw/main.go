@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"dtsvliw"
+	"dtsvliw/internal/introspect"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	profile := flag.Bool("profile", false, "print the hot-block profile and distribution histograms")
 	profileTop := flag.Int("profile-top", 10, "with -profile: hot blocks listed")
 	ringSize := flag.Int("trace-ring", 0, "telemetry event ring capacity (0 = 8k events; raise for long timeline exports)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /statusz and /debug/pprof on this address for the duration of the run")
 	flag.Parse()
 
 	var cfg dtsvliw.Config
@@ -61,6 +63,28 @@ func main() {
 	if *trace != "" || *profile {
 		cfg.Telemetry = true
 		cfg.TelemetryRingSize = *ringSize
+	}
+
+	if *metricsAddr != "" {
+		srv, err := introspect.Serve(*metricsAddr, introspect.Options{
+			Program: "dtsvliw",
+			Args:    os.Args[1:],
+			Status: func() introspect.Status {
+				return introspect.Status{
+					Config: map[string]string{
+						"workload": *workload, "file": *file,
+						"geometry": fmt.Sprintf("%dx%d", cfg.Width, cfg.Height),
+						"strategy": *strategy,
+					},
+					Fingerprint: cfg.Fingerprint(),
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dtsvliw: introspection on http://%s\n", srv.Addr())
 	}
 
 	var sys *dtsvliw.System

@@ -45,6 +45,7 @@ import (
 	"strings"
 
 	"dtsvliw/internal/experiments"
+	"dtsvliw/internal/introspect"
 )
 
 func main() {
@@ -76,9 +77,25 @@ func main() {
 		"with -bench-diff: fail unless at least half the machine entries improved ns/instr by this percent")
 	sweepGate := flag.Bool("sweep-gate", false,
 		"measure the oracle sweep-throughput rows and enforce the pooled/parallel speedup contract (skips -run)")
+	benchMetricsGate := flag.Float64("bench-metrics-gate", 0,
+		"measure machine rows metrics-off vs -on with interleaved reps; fail past this percent ns/instr overhead (skips -run)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /statusz and /debug/pprof on this address for the duration of the run")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := introspect.Serve(*metricsAddr, introspect.Options{
+			Program: "experiments",
+			Args:    os.Args[1:],
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: introspection on http://%s\n", srv.Addr())
+	}
 
 	var cpuFile *os.File
 	if *cpuProfile != "" {
@@ -185,6 +202,27 @@ func main() {
 			return
 		}
 		fmt.Fprintln(os.Stderr, "sweep gate passed (pooled >= 1.05x noreuse; parallel scaling checked when CPUs allow)")
+		return
+	}
+
+	if *benchMetricsGate > 0 {
+		deltas, err := experiments.BenchMetricsOverhead(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-metrics-gate: %v\n", err)
+			exit(1)
+			return
+		}
+		fmt.Print(experiments.FormatBenchDiff(deltas))
+		// Gate on the mean across rows, not per row: the publisher's cost is
+		// uniform, so a real regression moves every row, while single rows
+		// bounce past 2% on run-to-run noise alone.
+		if err := experiments.GateBenchMean(deltas, *benchMetricsGate); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			exit(1)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "metrics overhead gate passed (threshold %+.1f%% mean ns/instr on machine entries)\n",
+			*benchMetricsGate)
 		return
 	}
 

@@ -2,8 +2,10 @@
 // produced by dtsvliw -trace) against the trace-event format rules that
 // Perfetto and chrome://tracing rely on: a traceEvents array whose
 // entries carry a name, a known phase, pid/tid, a timestamp on timed
-// events, and a non-negative duration on complete ("X") events. CI runs
-// it on the exported workload trace before uploading the artifact.
+// events, and a non-negative duration on complete ("X") events. The
+// direct-chaining instant events (chain-link, chain-unlink) are
+// additionally checked against their arg schema. CI runs it on the
+// exported workload trace before uploading the artifact.
 //
 // Usage:
 //
@@ -13,33 +15,9 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 )
-
-type traceFile struct {
-	TraceEvents []json.RawMessage `json:"traceEvents"`
-}
-
-type traceEvent struct {
-	Name  *string         `json:"name"`
-	Ph    *string         `json:"ph"`
-	Ts    *float64        `json:"ts"`
-	Dur   *float64        `json:"dur"`
-	Pid   *int            `json:"pid"`
-	Tid   *int            `json:"tid"`
-	Scope string          `json:"s"`
-	Args  json.RawMessage `json:"args"`
-}
-
-// knownPhases lists the trace-event phase codes the viewers accept.
-var knownPhases = map[string]bool{
-	"B": true, "E": true, "X": true, "i": true, "I": true,
-	"C": true, "b": true, "n": true, "e": true, "s": true, "t": true,
-	"f": true, "P": true, "M": true, "N": true, "O": true, "D": true,
-	"R": true, "c": true,
-}
 
 func main() {
 	if len(os.Args) != 2 {
@@ -50,62 +28,11 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	var tf traceFile
-	if err := json.Unmarshal(data, &tf); err != nil {
-		fail("not a trace-event JSON object: %v", err)
+	summary, err := checkTrace(data)
+	if err != nil {
+		fail("%v", err)
 	}
-	if tf.TraceEvents == nil {
-		fail("missing traceEvents array")
-	}
-	counts := map[string]int{}
-	for i, raw := range tf.TraceEvents {
-		var e traceEvent
-		if err := json.Unmarshal(raw, &e); err != nil {
-			fail("traceEvents[%d]: not an object: %v", i, err)
-		}
-		if e.Name == nil || *e.Name == "" {
-			fail("traceEvents[%d]: missing name", i)
-		}
-		if e.Ph == nil || !knownPhases[*e.Ph] {
-			fail("traceEvents[%d] (%s): missing or unknown phase %v", i, *e.Name, e.Ph)
-		}
-		if e.Pid == nil || e.Tid == nil {
-			fail("traceEvents[%d] (%s, ph=%s): missing pid/tid", i, *e.Name, *e.Ph)
-		}
-		switch *e.Ph {
-		case "M":
-			// Metadata events are untimed.
-		case "X":
-			if e.Ts == nil {
-				fail("traceEvents[%d] (%s): complete event missing ts", i, *e.Name)
-			}
-			if e.Dur == nil || *e.Dur < 0 {
-				fail("traceEvents[%d] (%s): complete event needs dur >= 0", i, *e.Name)
-			}
-		case "i", "I":
-			if e.Ts == nil {
-				fail("traceEvents[%d] (%s): instant event missing ts", i, *e.Name)
-			}
-			if e.Scope != "" && e.Scope != "g" && e.Scope != "p" && e.Scope != "t" {
-				fail("traceEvents[%d] (%s): bad instant scope %q", i, *e.Name, e.Scope)
-			}
-		default:
-			if e.Ts == nil {
-				fail("traceEvents[%d] (%s, ph=%s): missing ts", i, *e.Name, *e.Ph)
-			}
-		}
-		counts[*e.Ph]++
-	}
-	if counts["X"] == 0 {
-		fail("no complete (X) slices: the occupancy timeline is empty")
-	}
-	fmt.Printf("tracecheck: %s ok (%d events", os.Args[1], len(tf.TraceEvents))
-	for _, ph := range []string{"X", "i", "M"} {
-		if counts[ph] > 0 {
-			fmt.Printf(", %d %s", counts[ph], ph)
-		}
-	}
-	fmt.Println(")")
+	fmt.Printf("tracecheck: %s ok (%s)\n", os.Args[1], summary)
 }
 
 func fail(format string, args ...interface{}) {

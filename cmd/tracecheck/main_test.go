@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"dtsvliw/internal/telemetry"
+)
+
+// TestCheckLiveChainTrace validates a trace produced by the real
+// exporter, including the direct-chaining events, end to end: what
+// WriteChromeTrace emits is exactly what checkTrace accepts.
+func TestCheckLiveChainTrace(t *testing.T) {
+	var cycle uint64
+	c := telemetry.NewCollector(telemetry.Config{}, &cycle)
+	c.HandoverToVLIW(0x100)
+	cycle = 10
+	c.EnterBlock(0x100, 4)
+	c.ChainLinked(0x100, 0x140)
+	cycle = 20
+	c.ExitBlock(0x100, telemetry.ExitFallthru, 0x140, 10)
+	c.EnterBlock(0x140, 2)
+	cycle = 30
+	c.ExitBlock(0x140, telemetry.ExitFallthru, 0x180, 10)
+	c.ChainUnlinked(0x100, 3)
+	c.HandoverToPrimary(0x180)
+	cycle = 40
+	c.Finish()
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	summary, err := checkTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("checkTrace rejected a live trace: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(summary, "2 chain") {
+		t.Fatalf("summary %q does not count the 2 chain events", summary)
+	}
+	for _, want := range []string{`"chain-link"`, `"chain-unlink"`, `"exitPC":"0x140"`, `"edges":3`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("exported trace missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestCheckChainFixture pins the on-disk arg schema: the committed
+// fixture must keep validating even if the exporter changes, so a schema
+// drift shows up as a deliberate fixture update in review.
+func TestCheckChainFixture(t *testing.T) {
+	data, err := os.ReadFile("testdata/chain.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := checkTrace(data)
+	if err != nil {
+		t.Fatalf("fixture rejected: %v", err)
+	}
+	if !strings.Contains(summary, "2 chain") {
+		t.Fatalf("summary %q does not count the fixture's 2 chain events", summary)
+	}
+}
+
+// TestCheckRejectsMalformed: each mutation of an otherwise valid trace
+// must produce a diagnostic naming the problem.
+func TestCheckRejectsMalformed(t *testing.T) {
+	const slice = `{"name": "primary", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1}`
+	wrap := func(events ...string) []byte {
+		return []byte(`{"traceEvents": [` + strings.Join(events, ",") + `]}`)
+	}
+	cases := []struct {
+		name, event, wantErr string
+	}{
+		{"missing name", `{"ph": "i", "ts": 1, "pid": 1, "tid": 3}`, "missing name"},
+		{"unknown phase", `{"name": "x", "ph": "Z", "ts": 1, "pid": 1, "tid": 3}`, "unknown phase"},
+		{"missing pid/tid", `{"name": "x", "ph": "i", "ts": 1}`, "missing pid/tid"},
+		{"negative dur", `{"name": "x", "ph": "X", "ts": 1, "dur": -2, "pid": 1, "tid": 1}`, "dur >= 0"},
+		{"bad scope", `{"name": "x", "ph": "i", "ts": 1, "pid": 1, "tid": 3, "s": "q"}`, "bad instant scope"},
+		{"chain-link missing args",
+			`{"name": "chain-link", "ph": "i", "ts": 1, "pid": 1, "tid": 3}`, "missing or malformed args"},
+		{"chain-link missing exitPC",
+			`{"name": "chain-link", "ph": "i", "ts": 1, "pid": 1, "tid": 3, "args": {"block": "0x10"}}`,
+			`missing arg "exitPC"`},
+		{"chain-link numeric block",
+			`{"name": "chain-link", "ph": "i", "ts": 1, "pid": 1, "tid": 3, "args": {"block": 16, "exitPC": "0x40"}}`,
+			"not a hex address string"},
+		{"chain-unlink string edges",
+			`{"name": "chain-unlink", "ph": "i", "ts": 1, "pid": 1, "tid": 3, "args": {"block": "0x10", "edges": "three"}}`,
+			"not a non-negative number"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := checkTrace(wrap(slice, tc.event))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got error %v, want one containing %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := checkTrace(wrap(slice)); err != nil {
+		t.Fatalf("baseline trace rejected: %v", err)
+	}
+	if _, err := checkTrace([]byte(`{"other": 1}`)); err == nil ||
+		!strings.Contains(err.Error(), "missing traceEvents") {
+		t.Fatalf("got %v, want missing traceEvents", err)
+	}
+}

@@ -204,6 +204,18 @@ func (c Config) toInternal() (core.Config, error) {
 	return base, nil
 }
 
+// Fingerprint returns a short stable digest of the configuration
+// (core.ConfigFingerprint): equal fingerprints mean identical machine
+// geometry and behaviour. It labels /statusz and result caches. Returns
+// "" for configurations that do not validate.
+func (c Config) Fingerprint() string {
+	base, err := c.toInternal()
+	if err != nil {
+		return ""
+	}
+	return core.ConfigFingerprint(base)
+}
+
 // Ideal returns the paper's architecture-study configuration (§4.1–§4.3):
 // perfect instruction and data caches and a 3072-KB 4-way VLIW Cache.
 func Ideal(width, height int) Config {

@@ -8,8 +8,11 @@ package core
 import (
 	"fmt"
 
+	"hash/fnv"
+
 	"dtsvliw/internal/isa"
 	"dtsvliw/internal/mem"
+	"dtsvliw/internal/metrics"
 	"dtsvliw/internal/primary"
 	"dtsvliw/internal/telemetry"
 	"dtsvliw/internal/vcache"
@@ -105,6 +108,13 @@ type Config struct {
 	// zero-overhead disabled path.
 	Telemetry *telemetry.Config
 
+	// Metrics selects the registry the machine's always-on metrics
+	// publisher resolves its instruments against (DESIGN.md §17); nil
+	// publishes to the process-wide metrics.Default registry. Metrics are
+	// skipped entirely — no publisher is built — when the process-wide
+	// switch is off (metrics.SetEnabled(false)) at machine construction.
+	Metrics *metrics.Registry
+
 	// TestMode runs the sequential test machine in lockstep and compares
 	// architectural state at every synchronisation point (paper §4).
 	TestMode bool
@@ -146,6 +156,21 @@ type Config struct {
 	// single aggregate checkpoint (the lockstep reference is advanced
 	// by the same prefix).
 	FastForward uint64
+}
+
+// ConfigFingerprint returns a short stable digest of a machine
+// configuration with its run-scoped attachments (telemetry collector,
+// metrics registry) elided: equal fingerprints mean identical machine
+// geometry and behaviour. The digest is stable across processes — Config
+// contains no maps or pointers once the attachments are stripped — so it
+// keys content-addressed result caches and labels /statusz.
+func ConfigFingerprint(cfg Config) string {
+	k := cfg
+	k.Telemetry = nil
+	k.Metrics = nil
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", k)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Validate checks the configuration.

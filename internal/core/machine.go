@@ -7,6 +7,7 @@ import (
 	"dtsvliw/internal/blockcheck"
 	"dtsvliw/internal/isa"
 	"dtsvliw/internal/mem"
+	"dtsvliw/internal/metrics"
 	"dtsvliw/internal/primary"
 	"dtsvliw/internal/sched"
 	"dtsvliw/internal/telemetry"
@@ -84,6 +85,21 @@ type Machine struct {
 	tel     *telemetry.Collector
 	telCols []uint32
 
+	// pub is the always-on metrics publisher (DESIGN.md §17), flushing
+	// counter deltas into the configured registry at coarse sync points;
+	// nil when metrics are globally disabled. nextFlush is the cycle
+	// count the next periodic flush is due at (MaxUint64 when pub is
+	// nil), so the Run loop's flush check is a single compare against a
+	// field on the machine's own hot cache line rather than a publisher
+	// dereference per iteration. flushFull/flushProbe/flushNonSched
+	// attribute scheduling-list flushes to their causes — plain
+	// owner-local counters like Stats, published by pub.
+	pub           *metricsPublisher
+	nextFlush     uint64
+	flushFull     uint64
+	flushProbe    uint64
+	flushNonSched uint64
+
 	// BlockHook, when set, observes every block saved to the VLIW Cache
 	// (used by the -dumpblocks tool and by tests).
 	BlockHook func(*sched.Block)
@@ -159,6 +175,15 @@ func NewMachine(cfg Config, st *arch.State) (*Machine, error) {
 		m.eng.SetTelemetry(m.tel)
 		m.ic.MissHook = func(addr uint32) { m.tel.CacheMiss(telemetry.EvICacheMiss, addr) }
 		m.dc.MissHook = func(addr uint32) { m.tel.CacheMiss(telemetry.EvDCacheMiss, addr) }
+	}
+	m.nextFlush = ^uint64(0)
+	if metrics.Enabled() {
+		reg := cfg.Metrics
+		if reg == nil {
+			reg = metrics.Default()
+		}
+		m.pub = newMetricsPublisher(reg)
+		m.nextFlush = metricsFlushCycles
 	}
 	if cfg.ExitPrediction {
 		m.predictor = make(map[uint32]uint32)
@@ -253,6 +278,9 @@ func (m *Machine) saveBlock(b *sched.Block) error {
 	}
 	m.vc.Save(b, low)
 	m.Stats.BlocksSaved++
+	if m.pub != nil {
+		m.pub.set.blockLIs.Observe(uint64(b.NumLIs))
+	}
 	if m.tel != nil {
 		// Static slot-utilisation breakdown: occupied slots per column of
 		// the saved grid.
@@ -303,12 +331,23 @@ func (m *Machine) Run() error {
 			return err
 		}
 	}
+	if m.pub != nil {
+		m.pub.set.machinesRunning.Add(1)
+		defer m.pub.set.machinesRunning.Add(-1)
+	}
 	for !m.St.Halted {
 		if m.cfg.MaxCycles > 0 && m.Stats.Cycles >= m.cfg.MaxCycles {
 			return fmt.Errorf("core: cycle limit %d reached", m.cfg.MaxCycles)
 		}
 		if m.cfg.MaxInstrs > 0 && m.seq >= m.cfg.MaxInstrs {
 			break
+		}
+		if m.Stats.Cycles >= m.nextFlush {
+			// Periodic publish so a live scrape of a long run is never more
+			// than one flush interval stale (nextFlush is MaxUint64 when no
+			// publisher is attached, so this branch never fires then).
+			m.pub.flush(m)
+			m.nextFlush = m.Stats.Cycles + metricsFlushCycles
 		}
 		var err error
 		switch {
@@ -368,6 +407,11 @@ func (m *Machine) harvestStats() {
 	m.Stats.VCacheChainHits = m.vc.ChainHits
 	m.Stats.VCacheChainLinks = m.vc.ChainLinks
 	m.Stats.VCacheChainUnlinks = m.vc.ChainUnlinks
+	if m.pub != nil {
+		// Final publish: at quiescence the registry counters equal Stats
+		// exactly (tested by TestMachineMetricsReconcile).
+		m.pub.flush(m)
+	}
 }
 
 // stepPrimary executes one instruction on the Primary Processor, feeds it
@@ -382,7 +426,11 @@ func (m *Machine) stepPrimary() error {
 	if !m.skipProbe && m.excBudget == 0 {
 		if ent, hitLine, ok := m.vc.LookupLine(pc, m.St.CWP()); ok {
 			m.curLine = hitLine
-			if err := m.saveBlock(m.sch.Flush(pc, m.seq)); err != nil {
+			blk := m.sch.Flush(pc, m.seq)
+			if blk != nil {
+				m.flushProbe++
+			}
+			if err := m.saveBlock(blk); err != nil {
 				return err
 			}
 			m.pipe.FlushState()
@@ -435,7 +483,11 @@ func (m *Machine) stepPrimary() error {
 	} else if !in.IsSchedulable() {
 		// Non-schedulable instructions flush the scheduling list (paper
 		// §3.9); the block's successor in the trace is this instruction.
-		if err := m.saveBlock(m.sch.Flush(pc, seqNo)); err != nil {
+		blk := m.sch.Flush(pc, seqNo)
+		if blk != nil {
+			m.flushNonSched++
+		}
+		if err := m.saveBlock(blk); err != nil {
 			return err
 		}
 	} else {
@@ -444,6 +496,9 @@ func (m *Machine) stepPrimary() error {
 		})
 		if err != nil {
 			return err
+		}
+		if blk != nil {
+			m.flushFull++
 		}
 		if err := m.saveBlock(blk); err != nil {
 			return err
@@ -930,6 +985,12 @@ func (m *Machine) Reset() {
 	m.BlockHook = nil
 	m.CheckpointHook = nil
 	m.Stats = Stats{}
+	m.flushFull, m.flushProbe, m.flushNonSched = 0, 0, 0
+	m.nextFlush = ^uint64(0)
+	if m.pub != nil {
+		m.pub.reset()
+		m.nextFlush = metricsFlushCycles
+	}
 }
 
 // RefInstret returns the test machine's instruction count (the paper's

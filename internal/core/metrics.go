@@ -1,0 +1,256 @@
+package core
+
+import (
+	"dtsvliw/internal/metrics"
+	"dtsvliw/internal/vcache"
+)
+
+// metricsFlushCycles is the cycle budget between periodic publisher
+// flushes inside Run's dispatch loop. A live scrape is therefore at most
+// this many simulated cycles stale; at ~10-40ns per simulated cycle that
+// is well under a millisecond of wall clock, while the per-iteration cost
+// is one subtraction and compare.
+const metricsFlushCycles = 1 << 14
+
+// machineCursor mirrors every monotone counter the publisher flushes, at
+// its last-published value, so each flush atomically adds only the delta
+// since the previous one. All fields are plain uint64s owned by the
+// machine's goroutine.
+type machineCursor struct {
+	cycles, primaryCycles, vliwCycles, switchCycles, drainStalls uint64
+	instrs, fastForwarded                                        uint64
+	switches, blocksSaved, blocksVerified                        uint64
+	excAliasing, excOther                                        uint64
+	exitPredHits, exitPredMisses                                 uint64
+	flushFull, flushProbe, flushNonSched                         uint64
+
+	icAcc, icMiss, dcAcc, dcMiss uint64
+	memFaults                    uint64
+
+	vcLookups, vcHits, vcStores, vcEvict, vcInval uint64
+	chainHits, chainLinks, chainUnlinks           uint64
+	setLookups, setHits                           [vcache.SetGroups]uint64
+	setEvict, setInval                            [vcache.SetGroups]uint64
+
+	schedInserted, schedIgnored, schedSplits, schedMoveUps uint64
+	schedInstalls, schedFlushed, schedFlushedLIs           uint64
+	schedConservative, schedRepacked, schedRepackSaved     uint64
+}
+
+// machineMetricSet holds the resolved registry instruments one machine
+// publishes into. Resolution happens once at NewMachine (idempotent:
+// machines sharing a registry share instruments); the hot path only ever
+// touches pre-resolved handles.
+type machineMetricSet struct {
+	cycles          *metrics.Counter
+	primaryCycles   *metrics.Counter
+	vliwCycles      *metrics.Counter
+	switchCycles    *metrics.Counter
+	drainStalls     *metrics.Counter
+	instrs          *metrics.Counter
+	fastForwarded   *metrics.Counter
+	switches        *metrics.Counter
+	blocksSaved     *metrics.Counter
+	blocksVerified  *metrics.Counter
+	excAliasing     *metrics.Counter
+	excOther        *metrics.Counter
+	exitPredHits    *metrics.Counter
+	exitPredMisses  *metrics.Counter
+	flushFull       *metrics.Counter
+	flushProbe      *metrics.Counter
+	flushNonSched   *metrics.Counter
+	blockLIs        *metrics.Histogram
+	machinesRunning *metrics.Gauge
+	machinesInVLIW  *metrics.Gauge
+
+	icAcc, icMiss *metrics.Counter
+	dcAcc, dcMiss *metrics.Counter
+	memFaults     *metrics.Counter
+
+	vcLookups, vcHits, vcStores, vcEvict, vcInval *metrics.Counter
+	chainHits, chainLinks, chainUnlinks           *metrics.Counter
+	setLookups, setHits                           [vcache.SetGroups]*metrics.Counter
+	setEvict, setInval                            [vcache.SetGroups]*metrics.Counter
+
+	schedInserted, schedIgnored, schedSplits, schedMoveUps *metrics.Counter
+	schedInstalls, schedFlushed, schedFlushedLIs           *metrics.Counter
+	schedConservative, schedRepacked, schedRepackSaved     *metrics.Counter
+}
+
+// setGroupLabels are the per-set-group label values, two digits so the
+// snapshot's lexicographic series order matches numeric order.
+var setGroupLabels = [vcache.SetGroups]string{
+	"00", "01", "02", "03", "04", "05", "06", "07",
+	"08", "09", "10", "11", "12", "13", "14", "15",
+}
+
+func newMachineMetricSet(r *metrics.Registry) *machineMetricSet {
+	s := &machineMetricSet{
+		cycles:          r.Counter("dtsvliw_machine_cycles_total", "total simulated cycles"),
+		primaryCycles:   r.Counter("dtsvliw_machine_primary_cycles_total", "cycles spent in the Primary Processor"),
+		vliwCycles:      r.Counter("dtsvliw_machine_vliw_cycles_total", "cycles spent in the VLIW Engine"),
+		switchCycles:    r.Counter("dtsvliw_machine_switch_cycles_total", "cycles charged to engine handovers"),
+		drainStalls:     r.Counter("dtsvliw_machine_drain_stall_cycles_total", "Primary cycles stalled on an in-flight block flush"),
+		instrs:          r.Counter("dtsvliw_machine_instrs_total", "sequential instructions covered"),
+		fastForwarded:   r.Counter("dtsvliw_machine_fast_forwarded_instrs_total", "warmup instructions executed at interpreter speed"),
+		switches:        r.Counter("dtsvliw_machine_switches_total", "engine handovers, both directions"),
+		blocksSaved:     r.Counter("dtsvliw_machine_blocks_saved_total", "blocks saved to the VLIW Cache"),
+		blocksVerified:  r.Counter("dtsvliw_machine_blocks_verified_total", "blocks proven legal at save time"),
+		excAliasing:     r.Counter("dtsvliw_machine_aliasing_exceptions_total", "aliasing exceptions (block invalidated, rescheduled conservatively)"),
+		excOther:        r.Counter("dtsvliw_machine_other_exceptions_total", "non-aliasing exceptions (rollback to Primary-only execution)"),
+		exitPredHits:    r.Counter("dtsvliw_machine_exit_pred_hits_total", "next-long-instruction predictions that hit"),
+		exitPredMisses:  r.Counter("dtsvliw_machine_exit_pred_misses_total", "next-long-instruction predictions that missed"),
+		flushFull:       r.Counter("dtsvliw_sched_flushes_block_full_total", "scheduling-list flushes because the block filled"),
+		flushProbe:      r.Counter("dtsvliw_sched_flushes_probe_hit_total", "scheduling-list flushes on a VLIW Cache probe hit"),
+		flushNonSched:   r.Counter("dtsvliw_sched_flushes_non_schedulable_total", "scheduling-list flushes on a non-schedulable instruction"),
+		blockLIs:        r.Histogram("dtsvliw_machine_saved_block_lis", "long instructions per saved block", []uint64{1, 2, 4, 8, 16, 32, 64}),
+		machinesRunning: r.Gauge("dtsvliw_machines_running", "machines currently inside Run"),
+		machinesInVLIW:  r.Gauge("dtsvliw_machines_in_vliw_mode", "machines currently executing on the VLIW Engine"),
+
+		icAcc:     r.Counter("dtsvliw_icache_accesses_total", "Instruction Cache accesses"),
+		icMiss:    r.Counter("dtsvliw_icache_misses_total", "Instruction Cache misses"),
+		dcAcc:     r.Counter("dtsvliw_dcache_accesses_total", "Data Cache accesses"),
+		dcMiss:    r.Counter("dtsvliw_dcache_misses_total", "Data Cache misses"),
+		memFaults: r.Counter("dtsvliw_mem_page_faults_total", "accesses to unmapped memory"),
+
+		vcLookups:    r.Counter("dtsvliw_vcache_lookups_total", "VLIW Cache lookups (hits + misses)"),
+		vcHits:       r.Counter("dtsvliw_vcache_hits_total", "VLIW Cache hits (chain hits included)"),
+		vcStores:     r.Counter("dtsvliw_vcache_stores_total", "blocks stored into the VLIW Cache"),
+		vcEvict:      r.Counter("dtsvliw_vcache_evictions_total", "valid blocks evicted by replacement"),
+		vcInval:      r.Counter("dtsvliw_vcache_invalidations_total", "blocks invalidated (aliasing exceptions)"),
+		chainHits:    r.Counter("dtsvliw_vcache_chain_hits_total", "block transitions resolved through a chain link"),
+		chainLinks:   r.Counter("dtsvliw_vcache_chain_links_total", "chain exit edges installed"),
+		chainUnlinks: r.Counter("dtsvliw_vcache_chain_unlinks_total", "chain exit edges severed by replacement/invalidation"),
+
+		schedInserted:     r.Counter("dtsvliw_sched_inserted_total", "instructions placed in the scheduling list"),
+		schedIgnored:      r.Counter("dtsvliw_sched_ignored_total", "nops and unconditional branches dropped"),
+		schedSplits:       r.Counter("dtsvliw_sched_splits_total", "instruction splits"),
+		schedMoveUps:      r.Counter("dtsvliw_sched_moveups_total", "move-up placements"),
+		schedInstalls:     r.Counter("dtsvliw_sched_installs_total", "slot installs"),
+		schedFlushed:      r.Counter("dtsvliw_sched_blocks_flushed_total", "blocks flushed from the scheduling list"),
+		schedFlushedLIs:   r.Counter("dtsvliw_sched_flushed_lis_total", "long instructions in flushed blocks"),
+		schedConservative: r.Counter("dtsvliw_sched_conservative_blocks_total", "blocks rescheduled conservatively after aliasing"),
+		schedRepacked:     r.Counter("dtsvliw_sched_repacked_blocks_total", "blocks repacked by a non-FCFS strategy"),
+		schedRepackSaved:  r.Counter("dtsvliw_sched_repack_saved_lis_total", "long instructions removed by repacking"),
+	}
+	lookups := r.CounterVec("dtsvliw_vcache_set_lookups_total", "VLIW Cache lookups by set group", "group")
+	hits := r.CounterVec("dtsvliw_vcache_set_hits_total", "VLIW Cache hits by set group", "group")
+	evict := r.CounterVec("dtsvliw_vcache_set_evictions_total", "VLIW Cache evictions by set group", "group")
+	inval := r.CounterVec("dtsvliw_vcache_set_invalidations_total", "VLIW Cache invalidations by set group", "group")
+	for g := 0; g < vcache.SetGroups; g++ {
+		s.setLookups[g] = lookups.With(setGroupLabels[g])
+		s.setHits[g] = hits.With(setGroupLabels[g])
+		s.setEvict[g] = evict.With(setGroupLabels[g])
+		s.setInval[g] = inval.With(setGroupLabels[g])
+	}
+	return s
+}
+
+// metricsPublisher flushes deltas of the machine's plain single-owner
+// counters into the shared atomic registry instruments. Flushes happen at
+// two coarse synchronisation points only — every metricsFlushCycles
+// cycles of the Run loop and the end-of-run stat harvest — so the
+// per-instruction hot paths stay exactly as they were: a scrape is never
+// more than one flush interval stale, and exactly equal to Stats at
+// quiescence. Per-handover flushing was measured and rejected: short
+// traces hand over every few hundred cycles, and a full flush walks ~100
+// cursor fields, which showed up as percent-level ns/instr overhead —
+// the mode gauge lagging a flush interval is the cheaper trade. flush
+// allocates nothing (guarded by a test), so pooled machines publish for
+// free in the steady state.
+type metricsPublisher struct {
+	set    *machineMetricSet
+	last   machineCursor
+	inVLIW bool // current contribution to the machinesInVLIW gauge
+}
+
+func newMetricsPublisher(r *metrics.Registry) *metricsPublisher {
+	return &metricsPublisher{set: newMachineMetricSet(r)}
+}
+
+// pub adds cur-last to c and advances the cursor.
+func pub(c *metrics.Counter, cur uint64, last *uint64) {
+	if d := cur - *last; d != 0 {
+		c.Add(d)
+		*last = cur
+	}
+}
+
+// flush publishes everything that changed since the previous flush.
+func (p *metricsPublisher) flush(m *Machine) {
+	s, l := p.set, &p.last
+	pub(s.cycles, m.Stats.Cycles, &l.cycles)
+	pub(s.primaryCycles, m.Stats.PrimaryCycles, &l.primaryCycles)
+	pub(s.vliwCycles, m.Stats.VLIWCycles, &l.vliwCycles)
+	pub(s.switchCycles, m.Stats.SwitchCycles, &l.switchCycles)
+	pub(s.drainStalls, m.Stats.DrainStalls, &l.drainStalls)
+	pub(s.instrs, m.seq, &l.instrs)
+	pub(s.fastForwarded, m.Stats.FastForwarded, &l.fastForwarded)
+	pub(s.switches, m.Stats.Switches, &l.switches)
+	pub(s.blocksSaved, m.Stats.BlocksSaved, &l.blocksSaved)
+	pub(s.blocksVerified, m.Stats.BlocksVerified, &l.blocksVerified)
+	pub(s.excAliasing, m.Stats.AliasingExceptions, &l.excAliasing)
+	pub(s.excOther, m.Stats.OtherExceptions, &l.excOther)
+	pub(s.exitPredHits, m.Stats.ExitPredHits, &l.exitPredHits)
+	pub(s.exitPredMisses, m.Stats.ExitPredMisses, &l.exitPredMisses)
+	pub(s.flushFull, m.flushFull, &l.flushFull)
+	pub(s.flushProbe, m.flushProbe, &l.flushProbe)
+	pub(s.flushNonSched, m.flushNonSched, &l.flushNonSched)
+
+	pub(s.icAcc, m.ic.Accesses, &l.icAcc)
+	pub(s.icMiss, m.ic.Misses, &l.icMiss)
+	pub(s.dcAcc, m.dc.Accesses, &l.dcAcc)
+	pub(s.dcMiss, m.dc.Misses, &l.dcMiss)
+	pub(s.memFaults, m.St.Mem.Faults, &l.memFaults)
+
+	vc := m.vc
+	pub(s.vcLookups, vc.Hits+vc.Misses, &l.vcLookups)
+	pub(s.vcHits, vc.Hits, &l.vcHits)
+	pub(s.vcStores, vc.Stores, &l.vcStores)
+	pub(s.vcEvict, vc.Replaced, &l.vcEvict)
+	pub(s.vcInval, vc.Invalidats, &l.vcInval)
+	pub(s.chainHits, vc.ChainHits, &l.chainHits)
+	pub(s.chainLinks, vc.ChainLinks, &l.chainLinks)
+	pub(s.chainUnlinks, vc.ChainUnlinks, &l.chainUnlinks)
+	for g := 0; g < vcache.SetGroups; g++ {
+		pub(s.setLookups[g], vc.SetLookups[g], &l.setLookups[g])
+		pub(s.setHits[g], vc.SetHits[g], &l.setHits[g])
+		pub(s.setEvict[g], vc.SetEvictions[g], &l.setEvict[g])
+		pub(s.setInval[g], vc.SetInvalidations[g], &l.setInval[g])
+	}
+
+	sch := &m.sch.Stats
+	pub(s.schedInserted, sch.Inserted, &l.schedInserted)
+	pub(s.schedIgnored, sch.Ignored, &l.schedIgnored)
+	pub(s.schedSplits, sch.Splits, &l.schedSplits)
+	pub(s.schedMoveUps, sch.MoveUps, &l.schedMoveUps)
+	pub(s.schedInstalls, sch.Installs, &l.schedInstalls)
+	pub(s.schedFlushed, sch.BlocksFlushed, &l.schedFlushed)
+	pub(s.schedFlushedLIs, sch.FlushedLIs, &l.schedFlushedLIs)
+	pub(s.schedConservative, sch.ConservativeBl, &l.schedConservative)
+	pub(s.schedRepacked, sch.RepackedBlocks, &l.schedRepacked)
+	pub(s.schedRepackSaved, sch.RepackSavedLIs, &l.schedRepackSaved)
+
+	inVLIW := m.mode == ModeVLIW
+	if inVLIW != p.inVLIW {
+		if inVLIW {
+			s.machinesInVLIW.Add(1)
+		} else {
+			s.machinesInVLIW.Add(-1)
+		}
+		p.inVLIW = inVLIW
+	}
+}
+
+// reset returns the publisher to its post-construction state after
+// Machine.Reset zeroed the underlying counters: the cursor restarts at
+// zero (already-published totals stay in the registry — counters are
+// cumulative across a pooled machine's lifetimes) and the mode gauge
+// contribution is withdrawn.
+func (p *metricsPublisher) reset() {
+	p.last = machineCursor{}
+	if p.inVLIW {
+		p.set.machinesInVLIW.Add(-1)
+		p.inVLIW = false
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dtsvliw/internal/arch"
+	"dtsvliw/internal/asm"
+	"dtsvliw/internal/metrics"
+)
+
+// loadInto assembles source into an existing (fresh or recycled) state,
+// mirroring buildState.
+func loadInto(t testing.TB, st *arch.State, source string) {
+	t.Helper()
+	p, err := asm.Assemble(source)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	p.Load(st.Mem)
+	st.Mem.Map(0x7F000, 0x1000)
+	st.PC = p.Entry
+	st.SetReg(14, 0x7FF00)
+	st.SetTextRange(p.TextBase, p.TextSize)
+}
+
+// runWithRegistry runs source on a non-TestMode machine publishing into
+// reg and returns the machine.
+func runWithRegistry(t testing.TB, source string, reg *metrics.Registry) *Machine {
+	t.Helper()
+	cfg := IdealConfig(4, 4)
+	cfg.MaxCycles = 50_000_000
+	cfg.Metrics = reg
+	st := buildState(t, source, cfg.NWin)
+	m, err := NewMachine(cfg, st)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+// TestMachineMetricsReconcile proves the delta-publishing model is exact
+// at quiescence: after a run, every registry counter equals the
+// corresponding Stats field — the final harvestStats flush publishes the
+// unflushed tail, so nothing is lost to the coarse flush cadence.
+func TestMachineMetricsReconcile(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := runWithRegistry(t, sumLoop, reg)
+	snap := reg.Snapshot()
+
+	want := []struct {
+		name string
+		val  uint64
+	}{
+		{"dtsvliw_machine_cycles_total", m.Stats.Cycles},
+		{"dtsvliw_machine_primary_cycles_total", m.Stats.PrimaryCycles},
+		{"dtsvliw_machine_vliw_cycles_total", m.Stats.VLIWCycles},
+		{"dtsvliw_machine_switch_cycles_total", m.Stats.SwitchCycles},
+		{"dtsvliw_machine_instrs_total", m.Stats.Retired},
+		{"dtsvliw_machine_switches_total", m.Stats.Switches},
+		{"dtsvliw_machine_blocks_saved_total", m.Stats.BlocksSaved},
+		{"dtsvliw_machine_aliasing_exceptions_total", m.Stats.AliasingExceptions},
+		{"dtsvliw_icache_accesses_total", m.Stats.ICacheAccesses},
+		{"dtsvliw_dcache_accesses_total", m.Stats.DCacheAccesses},
+		{"dtsvliw_vcache_hits_total", m.Stats.VCacheHits},
+		{"dtsvliw_vcache_lookups_total", m.Stats.VCacheHits + m.Stats.VCacheMisses},
+		{"dtsvliw_vcache_chain_hits_total", m.Stats.VCacheChainHits},
+		{"dtsvliw_vcache_chain_links_total", m.Stats.VCacheChainLinks},
+		{"dtsvliw_vcache_chain_unlinks_total", m.Stats.VCacheChainUnlinks},
+		{"dtsvliw_sched_inserted_total", m.Stats.Sched.Inserted},
+		{"dtsvliw_sched_installs_total", m.Stats.Sched.Installs},
+		{"dtsvliw_sched_blocks_flushed_total", m.Stats.Sched.BlocksFlushed},
+		{"dtsvliw_sched_flushed_lis_total", m.Stats.Sched.FlushedLIs},
+	}
+	for _, w := range want {
+		got, ok := snap.Value(w.name, "")
+		if !ok {
+			t.Fatalf("%s: not in snapshot", w.name)
+		}
+		if uint64(got) != w.val {
+			t.Errorf("%s = %d, want %d (Stats)", w.name, got, w.val)
+		}
+	}
+	if m.Stats.BlocksSaved == 0 || m.Stats.VCacheHits == 0 {
+		t.Fatalf("degenerate run: %d blocks saved, %d vcache hits", m.Stats.BlocksSaved, m.Stats.VCacheHits)
+	}
+
+	// The saved-block histogram saw exactly one observation per block.
+	for _, f := range snap.Families {
+		if f.Name == "dtsvliw_machine_saved_block_lis" {
+			if got := uint64(f.Series[0].Value); got != m.Stats.BlocksSaved {
+				t.Errorf("saved_block_lis count = %d, want %d", got, m.Stats.BlocksSaved)
+			}
+		}
+	}
+
+	// Per-set-group lookups sum to the aggregate lookup counter.
+	var grouped int64
+	for _, f := range snap.Families {
+		if f.Name == "dtsvliw_vcache_set_lookups_total" {
+			for _, s := range f.Series {
+				grouped += s.Value
+			}
+		}
+	}
+	if uint64(grouped) != m.Stats.VCacheHits+m.Stats.VCacheMisses {
+		t.Errorf("set-group lookups sum %d, want %d", grouped, m.Stats.VCacheHits+m.Stats.VCacheMisses)
+	}
+
+	// Gauges are back to zero once the run has returned.
+	for _, g := range []string{"dtsvliw_machines_running", "dtsvliw_machines_in_vliw_mode"} {
+		if v, _ := snap.Value(g, ""); v != 0 {
+			t.Errorf("%s = %d after run, want 0", g, v)
+		}
+	}
+}
+
+// TestMachineMetricsDumpDeterminism: identical runs against fresh
+// registries render byte-identical Prometheus dumps.
+func TestMachineMetricsDumpDeterminism(t *testing.T) {
+	var dumps [2][]byte
+	for i := range dumps {
+		reg := metrics.NewRegistry()
+		runWithRegistry(t, sumLoop, reg)
+		var b bytes.Buffer
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		dumps[i] = b.Bytes()
+	}
+	if !bytes.Equal(dumps[0], dumps[1]) {
+		t.Fatal("identical runs produced different metric dumps")
+	}
+}
+
+// TestMachineMetricsPooledCumulative: a recycled context keeps publishing
+// into the same registry, and counters accumulate across lifetimes — two
+// identical runs exactly double every counter.
+func TestMachineMetricsPooledCumulative(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := IdealConfig(4, 4)
+	cfg.MaxCycles = 50_000_000
+	cfg.Metrics = reg
+
+	ctx, err := NewMachineContext(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after1 int64
+	for run := 0; run < 2; run++ {
+		loadInto(t, ctx.State(), sumLoop)
+		m, err := ctx.Prepare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if run == 0 {
+			after1, _ = reg.Snapshot().Value("dtsvliw_machine_cycles_total", "")
+			ctx.Recycle()
+		}
+	}
+	after2, _ := reg.Snapshot().Value("dtsvliw_machine_cycles_total", "")
+	if after1 == 0 || after2 != 2*after1 {
+		t.Fatalf("cycles after runs: %d then %d, want exact doubling", after1, after2)
+	}
+}
+
+// TestMetricsFlushZeroAlloc guards the publisher's steady state: a flush
+// resolves no instruments and allocates nothing.
+func TestMetricsFlushZeroAlloc(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := runWithRegistry(t, sumLoop, reg)
+	if m.pub == nil {
+		t.Fatal("machine built without a publisher despite metrics enabled")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { m.pub.flush(m) }); allocs != 0 {
+		t.Fatalf("publisher flush allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestMetricsDisabledSkipsPublisher: with the process-wide switch off at
+// construction, the machine carries no publisher at all.
+func TestMetricsDisabledSkipsPublisher(t *testing.T) {
+	metrics.SetEnabled(false)
+	defer metrics.SetEnabled(true)
+	cfg := IdealConfig(4, 4)
+	cfg.MaxCycles = 50_000_000
+	st := buildState(t, sumLoop, cfg.NWin)
+	m, err := NewMachine(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.pub != nil {
+		t.Fatal("publisher built while metrics disabled")
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

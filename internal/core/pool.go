@@ -131,7 +131,16 @@ func (p *MachinePool) Put(c *MachineContext) {
 
 // poolKey fingerprints a configuration. Two configs with equal keys build
 // machines with identical geometry and behaviour, so their contexts are
-// interchangeable. The fingerprint is the printed struct: Config is a
-// value type whose only pointer field (Telemetry) is nil for every
-// poolable config.
-func poolKey(cfg Config) string { return fmt.Sprintf("%+v", cfg) }
+// interchangeable. The fingerprint is the printed struct with the two
+// pointer attachments replaced by their identities: printing %+v through
+// them would reflect into shared mutable state (the metrics registry's
+// maps race with concurrent publishers), and pointer *identity* is what
+// pooling needs anyway — a pooled machine keeps publishing to the
+// registry it resolved instruments from, so contexts are interchangeable
+// only within one registry.
+func poolKey(cfg Config) string {
+	k := cfg
+	k.Telemetry = nil
+	k.Metrics = nil
+	return fmt.Sprintf("%p|%p|%+v", cfg.Telemetry, cfg.Metrics, k)
+}

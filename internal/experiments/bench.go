@@ -12,6 +12,7 @@ import (
 	"dtsvliw/internal/core"
 	"dtsvliw/internal/isa"
 	"dtsvliw/internal/mem"
+	"dtsvliw/internal/metrics"
 	"dtsvliw/internal/oracle"
 	"dtsvliw/internal/progen"
 	"dtsvliw/internal/sched"
@@ -101,6 +102,11 @@ const benchFeedInstrs = 40_000
 // min-of-N is the standard noise-robust estimator (the simulation is
 // deterministic, so the fastest run is the least-disturbed one).
 const benchMachineReps = 3
+
+// benchMetricsReps is the interleaved rep count of BenchMetricsOverhead,
+// higher than benchMachineReps because its gate threshold (2%) sits
+// below the min-of-3 noise floor of the short workload runs.
+const benchMetricsReps = 8
 
 // BenchSched measures the benchmark matrix and returns the report.
 // Measurements are intentionally serial (Options.Workers is ignored):
@@ -335,6 +341,70 @@ func BenchTelemetryOverhead(o Options) ([]BenchDelta, error) {
 				NsPct: pct(ns[0], ns[1]), AllocsPct: pct(al[0], al[1]),
 			})
 			o.note("bench overhead %s/%s: %.0f -> %.0f ns/instr (%+.1f%%)",
+				w.Name, mc.label, ns[0], ns[1], pct(ns[0], ns[1]))
+		}
+	}
+	return out, nil
+}
+
+// BenchMetricsOverhead measures every machine row twice — the always-on
+// metrics publisher disabled (metrics.SetEnabled(false): machines are
+// built without a publisher, the "compiled out" baseline) and enabled
+// against the default registry — and returns one delta per row for the
+// ≤2% metrics-overhead gate. Off/on reps interleave pair by pair like
+// BenchTelemetryOverhead, so host drift hits both sides near-equally.
+func BenchMetricsOverhead(o Options) ([]BenchDelta, error) {
+	was := metrics.Enabled()
+	defer metrics.SetEnabled(was)
+	var out []BenchDelta
+	for _, w := range workloads.All() {
+		for _, mc := range benchMachineConfigs() {
+			mc.cfg.InterpretedEngine = o.InterpretedEngine
+			mc.cfg.NoChain = o.NoChain
+			var ns, al [2]float64 // index 0 = metrics off, 1 = on
+			// The expected overhead (a delta flush every 2^14 cycles) is far
+			// below the run-to-run noise of these short workloads, and the
+			// gate threshold is tight (2% vs telemetry's 10%), so this bench
+			// takes more interleaved reps than BenchSched to let min-of-reps
+			// converge; the whole matrix still measures in seconds.
+			for rep := 0; rep < benchMetricsReps; rep++ {
+				// Alternate which side runs first each rep: the second run of
+				// a pair starts with warmer caches and branch predictors, and
+				// always giving that position to one side biases the
+				// comparison by more than the effect being measured.
+				order := [2]int{0, 1}
+				if rep%2 == 1 {
+					order = [2]int{1, 0}
+				}
+				for _, side := range order {
+					metrics.SetEnabled(side == 1)
+					var m *core.Machine
+					e, a, _, err := measure(func() error {
+						var err error
+						m, err = RunOne(w, mc.cfg, o)
+						return err
+					})
+					if err != nil {
+						return nil, fmt.Errorf("bench metrics %s/%s: %w", w.Name, mc.label, err)
+					}
+					n := m.Stats.Retired
+					if n == 0 {
+						return nil, fmt.Errorf("bench metrics %s/%s: no instructions retired", w.Name, mc.label)
+					}
+					if v := float64(e.Nanoseconds()) / float64(n); rep == 0 || v < ns[side] {
+						ns[side] = v
+					}
+					if v := float64(a) / float64(n); rep == 0 || v < al[side] {
+						al[side] = v
+					}
+				}
+			}
+			out = append(out, BenchDelta{
+				Kind: "machine", Name: w.Name, Config: mc.label,
+				OldNs: ns[0], NewNs: ns[1], OldAllocs: al[0], NewAllocs: al[1],
+				NsPct: pct(ns[0], ns[1]), AllocsPct: pct(al[0], al[1]),
+			})
+			o.note("bench metrics %s/%s: %.0f -> %.0f ns/instr (%+.1f%%)",
 				w.Name, mc.label, ns[0], ns[1], pct(ns[0], ns[1]))
 		}
 	}

@@ -57,6 +57,29 @@ func TestDiffBenchSweepMatchedWorkersGates(t *testing.T) {
 	}
 }
 
+// TestGateBenchMean: the mean gate averages across machine rows — one
+// noisy row past the threshold passes as long as the mean stays under,
+// and a uniform shift fails even though every row is individually small.
+func TestGateBenchMean(t *testing.T) {
+	machine := func(name string, nsPct float64) BenchDelta {
+		return BenchDelta{Kind: "machine", Name: name, Config: "ideal-4x4", NsPct: nsPct}
+	}
+	noisy := []BenchDelta{
+		machine("a", 3.5), machine("b", -2.8), machine("c", 0.4), machine("d", -0.3),
+		{Kind: "sched-feed", Name: "feed", NsPct: 50}, // never gated
+	}
+	if err := GateBenchMean(noisy, 2); err != nil {
+		t.Fatalf("mean gate failed on symmetric noise: %v", err)
+	}
+	uniform := []BenchDelta{machine("a", 2.5), machine("b", 2.2), machine("c", 2.4)}
+	if err := GateBenchMean(uniform, 2); err == nil {
+		t.Fatal("mean gate passed a uniform +2.4%% shift")
+	}
+	if err := GateBenchMean(nil, 2); err == nil {
+		t.Fatal("mean gate passed with no machine rows")
+	}
+}
+
 // TestGateSweepEntries: the in-report throughput contract — pooled must
 // beat noreuse; the parallel clause depends on the host's CPU count.
 func TestGateSweepEntries(t *testing.T) {

@@ -190,6 +190,35 @@ func GateBenchWins(deltas []BenchDelta, minPct float64) error {
 	return nil
 }
 
+// GateBenchMean fails if the machine rows' MEAN ns/instr change exceeds
+// maxPct percent. Per-row gating suits regressions that hit one workload
+// (an algorithmic change in a path only some programs exercise); a mean
+// gate suits a uniform always-on cost like the metrics publisher, whose
+// true overhead is far below the per-row noise floor of the short bench
+// workloads — individual rows bounce ±3% run to run with the sign
+// flipping, while a real publisher cost would shift every row together
+// and survive the averaging.
+func GateBenchMean(deltas []BenchDelta, maxPct float64) error {
+	var sum float64
+	n := 0
+	for _, d := range deltas {
+		if d.Kind != "machine" {
+			continue
+		}
+		sum += d.NsPct
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("bench mean gate: no machine rows matched")
+	}
+	mean := sum / float64(n)
+	if mean > maxPct {
+		return fmt.Errorf("bench mean gate: machine rows average %+.2f%% ns/instr (> %+.1f%%) across %d rows",
+			mean, maxPct, n)
+	}
+	return nil
+}
+
 // GateBenchDiff fails if any machine or sweep entry's ns/instr regressed
 // by more than maxPct percent. The sched-feed microbenchmark rows are
 // reported but too noisy at CI benchtime to hard-fail on, and rows

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file renders the perf trajectory across PRs: a sequence of
+// BENCH_SCHED.json snapshots (the committed baseline plus the
+// scripts/bench.sh archive history) flattened into one per-row table of
+// ns/instr and allocs/instr over time, with last-step regressions
+// flagged by the same thresholds the CI bench gate uses.
+// cmd/dtsvliw-benchreport is the CLI over it.
+
+// TrajectoryPoint is one snapshot in the perf history, labelled by its
+// source (filename stem for archived snapshots).
+type TrajectoryPoint struct {
+	Label  string
+	Report *BenchReport
+}
+
+// LoadHistory reads every *.json snapshot under dir in lexicographic
+// filename order. scripts/bench.sh archive names files
+// <utc-timestamp>-<git-sha>.json, so lexicographic order is
+// chronological order.
+func LoadHistory(dir string) ([]TrajectoryPoint, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var points []TrajectoryPoint
+	for _, name := range names {
+		rep, err := LoadBenchReport(name)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, TrajectoryPoint{
+			Label:  strings.TrimSuffix(filepath.Base(name), ".json"),
+			Report: rep,
+		})
+	}
+	return points, nil
+}
+
+// LoadPoint reads one snapshot file as a labelled trajectory point.
+func LoadPoint(path string) (TrajectoryPoint, error) {
+	rep, err := LoadBenchReport(path)
+	if err != nil {
+		return TrajectoryPoint{}, err
+	}
+	return TrajectoryPoint{Label: strings.TrimSuffix(filepath.Base(path), ".json"), Report: rep}, nil
+}
+
+// TrajectoryRow is one benchmark row followed across every point. A zero
+// in Ns/Allocs means the row is absent from that snapshot (ns/instr of a
+// real measurement is never zero).
+type TrajectoryRow struct {
+	Kind    string    `json:"kind"`
+	Name    string    `json:"name"`
+	Config  string    `json:"config"`
+	Seed    int64     `json:"seed,omitempty"`
+	Workers int       `json:"workers,omitempty"`
+	Ns      []float64 `json:"ns_per_instr"`
+	Allocs  []float64 `json:"allocs_per_instr"`
+
+	// DeltaPct is the full-trajectory ns/instr change (first present ->
+	// last present); LastStepPct is the change over the final step (the
+	// regression signal). Regressed marks gateable rows whose LastStepPct
+	// exceeded the gate threshold.
+	DeltaPct    float64 `json:"delta_pct"`
+	LastStepPct float64 `json:"last_step_pct"`
+	Regressed   bool    `json:"regressed,omitempty"`
+}
+
+func (r TrajectoryRow) label() string {
+	return BenchDelta{Kind: r.Kind, Name: r.Name, Config: r.Config, Seed: r.Seed, Workers: r.Workers}.label()
+}
+
+// gateable mirrors GateBenchDiff's row selection: full-machine rows and
+// sweep rows gate; the sched-feed microbenchmarks are reported only
+// (too noisy at CI benchtime to hard-fail on).
+func (r TrajectoryRow) gateable() bool {
+	return r.Kind == "machine" || r.Kind == "sweep"
+}
+
+// Trajectory is the flattened perf history: one column per snapshot, one
+// row per benchmark key that appears in any snapshot.
+type Trajectory struct {
+	Labels  []string        `json:"labels"`
+	Rows    []TrajectoryRow `json:"rows"`
+	GatePct float64         `json:"gate_pct"`
+	// EnvNotes lists measurement-environment changes between adjacent
+	// snapshots; deltas across them are trajectories, not regressions.
+	EnvNotes []string `json:"env_notes,omitempty"`
+}
+
+// BuildTrajectory flattens the points into per-row trajectories and
+// flags gateable rows whose last step regressed ns/instr by more than
+// gatePct percent (0 disables flagging).
+func BuildTrajectory(points []TrajectoryPoint, gatePct float64) *Trajectory {
+	t := &Trajectory{GatePct: gatePct}
+	index := make(map[string]int)
+	for pi, p := range points {
+		t.Labels = append(t.Labels, p.Label)
+		if pi > 0 {
+			if note := BenchEnvNote(points[pi-1].Report, p.Report); note != "" {
+				t.EnvNotes = append(t.EnvNotes, fmt.Sprintf("%s -> %s: %s", points[pi-1].Label, p.Label, note))
+			}
+		}
+		for _, e := range p.Report.Entries {
+			key := benchKey(e)
+			ri, ok := index[key]
+			if !ok {
+				ri = len(t.Rows)
+				index[key] = ri
+				t.Rows = append(t.Rows, TrajectoryRow{
+					Kind: e.Kind, Name: e.Name, Config: e.Config, Seed: e.Seed, Workers: e.Workers,
+					Ns: make([]float64, len(points)), Allocs: make([]float64, len(points)),
+				})
+			}
+			t.Rows[ri].Ns[pi] = e.NsPerInstr
+			t.Rows[ri].Allocs[pi] = e.AllocsPerInstr
+		}
+	}
+	for ri := range t.Rows {
+		r := &t.Rows[ri]
+		present := presentIndices(r.Ns)
+		if len(present) == 0 {
+			continue
+		}
+		first, last := present[0], present[len(present)-1]
+		r.DeltaPct = pct(r.Ns[first], r.Ns[last])
+		if len(present) >= 2 {
+			prev := present[len(present)-2]
+			r.LastStepPct = pct(r.Ns[prev], r.Ns[last])
+			r.Regressed = gatePct > 0 && r.gateable() && r.LastStepPct > gatePct
+		}
+	}
+	return t
+}
+
+func presentIndices(vals []float64) []int {
+	var out []int
+	for i, v := range vals {
+		if v != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Regressions lists the flagged rows as human-readable strings (empty =
+// the trajectory's last step is clean).
+func (t *Trajectory) Regressions() []string {
+	var out []string
+	for _, r := range t.Rows {
+		if r.Regressed {
+			out = append(out, fmt.Sprintf("%s: %+.1f%% ns/instr over the last step (> %+.1f%%)",
+				r.label(), r.LastStepPct, t.GatePct))
+		}
+	}
+	return out
+}
+
+// Markdown renders the trajectory as a GitHub-flavoured markdown report:
+// one ns/instr table and one allocs/instr table, columns in snapshot
+// order, with full-trajectory and last-step deltas per row.
+func (t *Trajectory) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# Performance trajectory\n\n")
+	fmt.Fprintf(&b, "%d snapshots, %d benchmark rows.", len(t.Labels), len(t.Rows))
+	if t.GatePct > 0 {
+		fmt.Fprintf(&b, " Regression flag: last step > %+.1f%% ns/instr on machine/sweep rows.", t.GatePct)
+	}
+	b.WriteString("\n\n")
+	if len(t.EnvNotes) > 0 {
+		b.WriteString("Environment changes (deltas across them are trajectories, not regressions):\n\n")
+		for _, n := range t.EnvNotes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+		b.WriteString("\n")
+	}
+
+	writeTable := func(title string, vals func(TrajectoryRow) []float64, format string) {
+		fmt.Fprintf(&b, "## %s\n\n", title)
+		b.WriteString("| entry |")
+		for _, l := range t.Labels {
+			fmt.Fprintf(&b, " %s |", l)
+		}
+		b.WriteString(" Δ total | Δ last step | |\n|---|")
+		for range t.Labels {
+			b.WriteString("---:|")
+		}
+		b.WriteString("---:|---:|---|\n")
+		for _, r := range t.Rows {
+			fmt.Fprintf(&b, "| %s |", r.label())
+			for _, v := range vals(r) {
+				if v == 0 {
+					b.WriteString(" — |")
+				} else {
+					fmt.Fprintf(&b, " "+format+" |", v)
+				}
+			}
+			flag := ""
+			if r.Regressed {
+				flag = "⚠ regressed"
+			}
+			fmt.Fprintf(&b, " %+.1f%% | %+.1f%% | %s |\n", r.DeltaPct, r.LastStepPct, flag)
+		}
+		b.WriteString("\n")
+	}
+	writeTable("ns per simulated instruction", func(r TrajectoryRow) []float64 { return r.Ns }, "%.1f")
+	writeTable("allocs per simulated instruction", func(r TrajectoryRow) []float64 { return r.Allocs }, "%.3f")
+	return b.String()
+}
+
+// WriteJSON renders the trajectory as indented JSON.
+func (t *Trajectory) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// WriteFileOrStdout writes data to path, or to stdout when path is "-".
+func WriteFileOrStdout(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trajReport(ns float64) *BenchReport {
+	return &BenchReport{
+		GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", NumCPU: 8,
+		Entries: []BenchEntry{
+			{Kind: "machine", Name: "ijpeg", Config: "ideal-8x8", NsPerInstr: ns, AllocsPerInstr: 0.01},
+			{Kind: "sweep", Name: "conformance", Config: "serial-pooled", Workers: 1, NsPerInstr: ns * 2, AllocsPerInstr: 0.5},
+			{Kind: "sched-feed", Name: "aliasing", Config: "10x8", Seed: 3, NsPerInstr: ns * 3, AllocsPerInstr: 0},
+		},
+	}
+}
+
+func TestBuildTrajectoryDeltasAndFlags(t *testing.T) {
+	points := []TrajectoryPoint{
+		{Label: "a", Report: trajReport(100)},
+		{Label: "b", Report: trajReport(80)},
+		{Label: "c", Report: trajReport(120)}, // +50% last step
+	}
+	tr := BuildTrajectory(points, 10)
+	if len(tr.Labels) != 3 || len(tr.Rows) != 3 {
+		t.Fatalf("labels=%d rows=%d", len(tr.Labels), len(tr.Rows))
+	}
+	for _, r := range tr.Rows {
+		if got := r.DeltaPct; got < 19.9 || got > 20.1 {
+			t.Errorf("%s %s: total delta %.1f%%, want +20%%", r.Kind, r.Name, got)
+		}
+		if got := r.LastStepPct; got < 49.9 || got > 50.1 {
+			t.Errorf("%s %s: last step %.1f%%, want +50%%", r.Kind, r.Name, got)
+		}
+		wantFlag := r.Kind == "machine" || r.Kind == "sweep"
+		if r.Regressed != wantFlag {
+			t.Errorf("%s %s: regressed=%v, want %v (sched-feed rows never gate)", r.Kind, r.Name, r.Regressed, wantFlag)
+		}
+	}
+	if regs := tr.Regressions(); len(regs) != 2 {
+		t.Errorf("regressions = %v, want 2 entries", regs)
+	}
+}
+
+func TestTrajectoryNoGateNoFlags(t *testing.T) {
+	points := []TrajectoryPoint{
+		{Label: "a", Report: trajReport(100)},
+		{Label: "b", Report: trajReport(300)},
+	}
+	tr := BuildTrajectory(points, 0)
+	if regs := tr.Regressions(); len(regs) != 0 {
+		t.Errorf("gate disabled but regressions flagged: %v", regs)
+	}
+}
+
+func TestTrajectoryHandlesMissingRows(t *testing.T) {
+	a := trajReport(100)
+	b := trajReport(110)
+	b.Entries = b.Entries[:1] // only the machine row survives
+	c := trajReport(105)
+	tr := BuildTrajectory([]TrajectoryPoint{{"a", a}, {"b", b}, {"c", c}}, 10)
+	for _, r := range tr.Rows {
+		if r.Kind == "sweep" {
+			// Present at a and c only: last step spans the gap, +5%.
+			if r.Ns[1] != 0 {
+				t.Errorf("sweep row present at missing snapshot: %v", r.Ns)
+			}
+			if r.LastStepPct < 4.9 || r.LastStepPct > 5.1 {
+				t.Errorf("sweep last step %.1f%%, want +5%% across the gap", r.LastStepPct)
+			}
+		}
+	}
+	md := tr.Markdown()
+	if !strings.Contains(md, "—") {
+		t.Error("markdown does not render missing cells")
+	}
+}
+
+func TestTrajectoryMarkdownAndJSON(t *testing.T) {
+	tr := BuildTrajectory([]TrajectoryPoint{
+		{Label: "0001-aaaa", Report: trajReport(100)},
+		{Label: "0002-bbbb", Report: trajReport(90)},
+	}, 10)
+	md := tr.Markdown()
+	for _, want := range []string{
+		"# Performance trajectory",
+		"| entry | 0001-aaaa | 0002-bbbb |",
+		"machine ijpeg/ideal-8x8",
+		"sweep conformance/serial-pooled@1w",
+		"ns per simulated instruction",
+		"allocs per simulated instruction",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	b, err := tr.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trajectory
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(back.Rows) != len(tr.Rows) || len(back.Labels) != 2 {
+		t.Errorf("round-trip lost rows: %d vs %d", len(back.Rows), len(tr.Rows))
+	}
+}
+
+func TestTrajectoryEnvNotes(t *testing.T) {
+	a, b := trajReport(100), trajReport(100)
+	b.NumCPU = 16
+	tr := BuildTrajectory([]TrajectoryPoint{{"a", a}, {"b", b}}, 0)
+	if len(tr.EnvNotes) != 1 || !strings.Contains(tr.EnvNotes[0], "cpus 8 -> 16") {
+		t.Errorf("env notes = %v", tr.EnvNotes)
+	}
+}
+
+func TestLoadHistoryOrdersLexicographically(t *testing.T) {
+	dir := t.TempDir()
+	for name, ns := range map[string]float64{
+		"20260102000000-bbbb.json": 90,
+		"20260101000000-aaaa.json": 100,
+	} {
+		b, err := json.Marshal(trajReport(ns))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	points, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Label != "20260101000000-aaaa" || points[1].Label != "20260102000000-bbbb" {
+		t.Fatalf("history order wrong: %v, %v", points[0].Label, points[1].Label)
+	}
+	if points[0].Report.Entries[0].NsPerInstr != 100 {
+		t.Errorf("oldest snapshot not first")
+	}
+}

@@ -1,0 +1,107 @@
+package introspect
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dtsvliw/internal/metrics"
+)
+
+func get(t *testing.T, url string) (string, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return resp.Header.Get("Content-Type"), body
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("dtsvliw_test_events_total", "test events").Add(3)
+	reg.Histogram("dtsvliw_test_latency", "test latency", []uint64{1, 10}).Observe(5)
+
+	srv, err := Serve("127.0.0.1:0", Options{
+		Registry: reg,
+		Program:  "introspect-test",
+		Status: func() Status {
+			return Status{
+				Config:      map[string]string{"geometry": "8x8"},
+				Fingerprint: "deadbeefdeadbeef",
+				Progress:    &Progress{Done: 3, Total: 10, Workers: 2},
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	ct, body := get(t, base+"/metrics")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if err := metrics.LintText(bytes.NewReader(body)); err != nil {
+		t.Errorf("/metrics output invalid: %v", err)
+	}
+	if !strings.Contains(string(body), "dtsvliw_test_events_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	_, body = get(t, base+"/metrics.json")
+	var snap map[string]any
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Errorf("/metrics.json not JSON: %v", err)
+	}
+
+	_, body = get(t, base+"/statusz")
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/statusz not JSON: %v", err)
+	}
+	if st.Program != "introspect-test" || st.Fingerprint != "deadbeefdeadbeef" {
+		t.Errorf("/statusz payload = %+v", st)
+	}
+	if st.Progress == nil || st.Progress.Done != 3 || st.Progress.Total != 10 {
+		t.Errorf("/statusz progress = %+v", st.Progress)
+	}
+
+	_, body = get(t, base+"/debug/pprof/")
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles")
+	}
+
+	resp, err := http.Get(base + "/nonexistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServeDefaultsToGlobalRegistry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Options{Program: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if err := metrics.LintText(bytes.NewReader(body)); err != nil {
+		t.Errorf("default-registry /metrics invalid: %v", err)
+	}
+}

@@ -22,6 +22,11 @@ type Memory struct {
 	// free recycles unmapped pages (see Recycle) so a reused memory maps
 	// pages without allocating in the steady state.
 	free []*[pageSize]byte
+
+	// Faults counts accesses to unmapped addresses (every FaultError
+	// returned). Zeroed by Recycle with the rest of the observable state;
+	// the metrics publisher snapshots it at coarse sync points.
+	Faults uint64
 }
 
 // NewMemory returns an empty memory.
@@ -38,6 +43,7 @@ func (m *Memory) Recycle() {
 		m.free = append(m.free, p)
 		delete(m.pages, pn)
 	}
+	m.Faults = 0
 }
 
 // FaultError reports an access to an unmapped address.
@@ -80,6 +86,7 @@ func (m *Memory) Mapped(addr uint32) bool { return m.page(addr, false) != nil }
 func (m *Memory) ByteAt(addr uint32) (byte, error) {
 	p := m.page(addr, false)
 	if p == nil {
+		m.Faults++
 		return 0, &FaultError{Addr: addr}
 	}
 	return p[addr&(pageSize-1)], nil
@@ -89,6 +96,7 @@ func (m *Memory) ByteAt(addr uint32) (byte, error) {
 func (m *Memory) SetByte(addr uint32, v byte) error {
 	p := m.page(addr, false)
 	if p == nil {
+		m.Faults++
 		return &FaultError{Addr: addr}
 	}
 	p[addr&(pageSize-1)] = v

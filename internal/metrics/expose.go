@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry, fully deterministic:
+// families sorted by name, series sorted by label value. Two identical
+// runs over fresh registries therefore produce byte-identical
+// WritePrometheus/WriteJSON dumps.
+type Snapshot struct {
+	Families []FamilySnap `json:"families"`
+}
+
+// FamilySnap is one instrument family in a snapshot.
+type FamilySnap struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help,omitempty"`
+	Kind   string       `json:"kind"`
+	Label  string       `json:"label,omitempty"`
+	Bounds []uint64     `json:"bounds,omitempty"` // histogram bucket bounds
+	Series []SeriesSnap `json:"series"`
+}
+
+// SeriesSnap is one series: a counter or gauge value, or a histogram
+// (count in Value, plus Sum and per-bucket counts, last bucket = +Inf
+// overflow).
+type SeriesSnap struct {
+	Label   string   `json:"label,omitempty"`
+	Value   int64    `json:"value"`
+	Sum     uint64   `json:"sum,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Instrument reads are
+// individually atomic; a snapshot taken mid-run is a consistent "recent"
+// view, and a snapshot taken at quiescence is exact.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams { //determinism:allow sorted below
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var s Snapshot
+	s.Families = make([]FamilySnap, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnap{Name: f.name, Help: f.help, Kind: f.kind.String(),
+			Label: f.label, Bounds: f.bounds}
+		f.mu.Lock()
+		values := make([]string, 0, len(f.series))
+		for v := range f.series { //determinism:allow sorted below
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		for _, v := range values {
+			ss := SeriesSnap{Label: v}
+			switch inst := f.series[v].(type) {
+			case *Counter:
+				ss.Value = int64(inst.Load())
+			case *Gauge:
+				ss.Value = inst.Load()
+			case *Histogram:
+				ss.Value = int64(inst.Count())
+				ss.Sum = inst.Sum()
+				ss.Buckets = make([]uint64, len(inst.buckets))
+				for i := range inst.buckets {
+					ss.Buckets[i] = inst.buckets[i].Load()
+				}
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.Unlock()
+		s.Families = append(s.Families, fs)
+	}
+	return s
+}
+
+// Value returns the value of the series (name, label) — label "" for
+// unlabeled instruments. For histograms it returns the observation count.
+func (s Snapshot) Value(name, label string) (int64, bool) {
+	for i := range s.Families {
+		if s.Families[i].Name != name {
+			continue
+		}
+		for j := range s.Families[i].Series {
+			if s.Families[i].Series[j].Label == label {
+				return s.Families[i].Series[j].Value, true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// Diff returns s minus prev, matched by (family, label): counter and
+// gauge values, histogram counts, sums and buckets subtract elementwise.
+// Families or series absent from prev are kept at their full value.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	prevFam := make(map[string]*FamilySnap, len(prev.Families))
+	for i := range prev.Families {
+		prevFam[prev.Families[i].Name] = &prev.Families[i]
+	}
+	out := Snapshot{Families: make([]FamilySnap, 0, len(s.Families))}
+	for _, f := range s.Families {
+		df := f
+		df.Series = make([]SeriesSnap, len(f.Series))
+		copy(df.Series, f.Series)
+		if pf := prevFam[f.Name]; pf != nil {
+			prevSer := make(map[string]*SeriesSnap, len(pf.Series))
+			for i := range pf.Series {
+				prevSer[pf.Series[i].Label] = &pf.Series[i]
+			}
+			for i := range df.Series {
+				ps := prevSer[df.Series[i].Label]
+				if ps == nil {
+					continue
+				}
+				df.Series[i].Value -= ps.Value
+				df.Series[i].Sum -= ps.Sum
+				if len(df.Series[i].Buckets) == len(ps.Buckets) {
+					b := make([]uint64, len(df.Series[i].Buckets))
+					for j := range b {
+						b[j] = df.Series[i].Buckets[j] - ps.Buckets[j]
+					}
+					df.Series[i].Buckets = b
+				}
+			}
+		}
+		out.Families = append(out.Families, df)
+	}
+	return out
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one sample line per
+// series, histograms as cumulative _bucket/_sum/_count series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, f := range s.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, ss := range f.Series {
+			var err error
+			switch {
+			case f.Kind == "histogram":
+				cum := uint64(0)
+				for i, n := range ss.Buckets {
+					cum += n
+					le := "+Inf"
+					if i < len(f.Bounds) {
+						le = fmt.Sprintf("%d", f.Bounds[i])
+					}
+					if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", f.Name, le, cum); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", f.Name, ss.Sum, f.Name, ss.Value); err != nil {
+					return err
+				}
+			case f.Label != "":
+				_, err = fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", f.Name, f.Label, escapeLabel(ss.Label), ss.Value)
+			default:
+				_, err = fmt.Fprintf(w, "%s %d\n", f.Name, ss.Value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus snapshots the registry and renders it; see
+// Snapshot.WritePrometheus.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WriteJSON snapshots the registry and renders it as JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}

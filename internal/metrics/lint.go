@@ -1,0 +1,280 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintText validates a Prometheus text-exposition (version 0.0.4)
+// payload: metric and label name syntax, HELP/TYPE placement (TYPE at
+// most once per family, before any of its samples), parseable sample
+// values, no duplicate series, and histogram _bucket series carrying an
+// "le" label with cumulative, non-decreasing counts ending at +Inf.
+// It returns nil for a valid payload and a line-numbered error otherwise.
+func LintText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	typed := make(map[string]string) // family -> TYPE
+	sampled := make(map[string]bool) // family has samples already
+	seen := make(map[string]bool)    // full series key -> present
+	lastBucket := make(map[string]struct {
+		le  float64
+		cum float64
+		inf bool
+	})
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, typed, sampled); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		base := familyOf(name)
+		sampled[base] = true
+		if typed[base] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le, ok := labelValue(labels, "le")
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket %s has no le label", lineNo, name)
+			}
+			cur := lastBucket[base]
+			leV, inf := leValue(le)
+			if cur.inf {
+				return fmt.Errorf("line %d: %s bucket after le=\"+Inf\"", lineNo, name)
+			}
+			if value < cur.cum {
+				return fmt.Errorf("line %d: %s buckets not cumulative (%g < %g)", lineNo, name, value, cur.cum)
+			}
+			if !inf && leV < cur.le {
+				return fmt.Errorf("line %d: %s le bounds not increasing", lineNo, name)
+			}
+			lastBucket[base] = struct {
+				le  float64
+				cum float64
+				inf bool
+			}{le: leV, cum: value, inf: inf}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam, st := range lastBucket { //determinism:allow error reporting only
+		if !st.inf {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", fam)
+		}
+	}
+	return nil
+}
+
+// lintComment validates "# HELP" / "# TYPE" lines (other comments pass).
+func lintComment(line string, typed map[string]string, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := typed[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		typed[name] = typ
+	}
+	return nil
+}
+
+// parseSample splits one sample line into name, raw label block and value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+		if err := lintLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("sample %q malformed", line)
+	}
+	value, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("sample value %q does not parse: %v", fields[0], perr)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", "", 0, fmt.Errorf("sample timestamp %q does not parse", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// lintLabels validates a raw label block: name="value" pairs, quoted,
+// comma-separated, valid label names.
+func lintLabels(block string) error {
+	rest := block
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q has no =", rest)
+		}
+		lname := strings.TrimSpace(rest[:eq])
+		if !validLabelName(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %s value not quoted", lname)
+		}
+		// Scan the quoted value honouring escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("label %s value unterminated", lname)
+		}
+		rest = rest[i+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return nil
+}
+
+// labelValue extracts the (unescaped-enough) value of label name from a
+// raw label block.
+func labelValue(block, name string) (string, bool) {
+	rest := block
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", false
+		}
+		lname := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", false
+		}
+		i := 1
+		for i < len(rest) && rest[i] != '"' {
+			if rest[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		val := rest[1:i]
+		if i+1 <= len(rest) {
+			rest = strings.TrimPrefix(rest[min(i+1, len(rest)):], ",")
+		} else {
+			rest = ""
+		}
+		if lname == name {
+			return val, true
+		}
+	}
+	return "", false
+}
+
+// leValue parses an le bound ("+Inf" or a float).
+func leValue(s string) (v float64, inf bool) {
+	if s == "+Inf" {
+		return 0, true
+	}
+	v, _ = strconv.ParseFloat(s, 64)
+	return v, false
+}
+
+// familyOf strips histogram/summary sample suffixes.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

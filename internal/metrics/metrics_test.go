@@ -1,0 +1,240 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// populate exercises every instrument kind the same deterministic way.
+func populate(r *Registry) {
+	c := r.Counter("test_events_total", "events")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	cv := r.CounterVec("test_kinds_total", "by kind", "kind")
+	cv.With("a").Add(3)
+	cv.With("b").Add(5)
+	h := r.Histogram("test_sizes", "sizes", []uint64{1, 4, 16})
+	for _, v := range []uint64{0, 1, 2, 5, 100} {
+		h.Observe(v)
+	}
+}
+
+func TestInstrumentBasics(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	if got := r.Counter("test_events_total", "events").Load(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if got := r.Gauge("test_depth", "depth").Load(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	h := r.Histogram("test_sizes", "sizes", []uint64{1, 4, 16})
+	if h.Count() != 5 || h.Sum() != 108 {
+		t.Errorf("histogram count/sum = %d/%d, want 5/108", h.Count(), h.Sum())
+	}
+	// Idempotent resolution returns the same instrument.
+	if r.Counter("test_events_total", "events") != r.Counter("test_events_total", "events") {
+		t.Error("re-registration returned a different counter")
+	}
+	if r.CounterVec("test_kinds_total", "by kind", "kind").With("a").Load() != 3 {
+		t.Error("CounterVec series not shared across resolutions")
+	}
+}
+
+func TestMismatchedRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_x", "x")
+}
+
+// TestSnapshotDeterminism: two identical runs over fresh registries must
+// produce byte-identical Prometheus and JSON dumps (ISSUE 9 acceptance).
+func TestSnapshotDeterminism(t *testing.T) {
+	dump := func() (string, string) {
+		r := NewRegistry()
+		populate(r)
+		var p, j bytes.Buffer
+		if err := r.WritePrometheus(&p); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		return p.String(), j.String()
+	}
+	p1, j1 := dump()
+	for i := 0; i < 10; i++ {
+		p2, j2 := dump()
+		if p1 != p2 {
+			t.Fatalf("Prometheus dumps differ:\n%s\n----\n%s", p1, p2)
+		}
+		if j1 != j2 {
+			t.Fatalf("JSON dumps differ")
+		}
+	}
+}
+
+func TestSnapshotValueAndDiff(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	s1 := r.Snapshot()
+	if v, ok := s1.Value("test_events_total", ""); !ok || v != 42 {
+		t.Errorf("Value(test_events_total) = %d,%v", v, ok)
+	}
+	if v, ok := s1.Value("test_kinds_total", "b"); !ok || v != 5 {
+		t.Errorf("Value(test_kinds_total{b}) = %d,%v", v, ok)
+	}
+	r.Counter("test_events_total", "events").Add(8)
+	r.CounterVec("test_kinds_total", "by kind", "kind").With("a").Inc()
+	d := r.Snapshot().Diff(s1)
+	if v, _ := d.Value("test_events_total", ""); v != 8 {
+		t.Errorf("diff counter = %d, want 8", v)
+	}
+	if v, _ := d.Value("test_kinds_total", "a"); v != 1 {
+		t.Errorf("diff vec counter = %d, want 1", v)
+	}
+	if v, _ := d.Value("test_kinds_total", "b"); v != 0 {
+		t.Errorf("diff untouched series = %d, want 0", v)
+	}
+}
+
+// TestPrometheusOutputLints: the registry's own exposition must pass the
+// package's Prometheus text validator.
+func TestPrometheusOutputLints(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintText(bytes.NewReader(b.Bytes())); err != nil {
+		t.Fatalf("own exposition failed lint: %v\n%s", err, b.String())
+	}
+	// Sanity on the shape of the histogram rendering.
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_sizes histogram",
+		`test_sizes_bucket{le="+Inf"} 5`,
+		"test_sizes_sum 108",
+		"test_sizes_count 5",
+		`test_kinds_total{kind="a"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":          "9bad_name 1\n",
+		"no value":          "lonely_metric\n",
+		"bad value":         "m 1.2.3\n",
+		"duplicate series":  "m 1\nm 2\n",
+		"dup TYPE":          "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"TYPE after sample": "m 1\n# TYPE m counter\n",
+		"bad label name":    `m{0bad="x"} 1` + "\n",
+		"unquoted label":    "m{l=x} 1\n",
+		"bucket without le": "# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\n" + "h_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + "h_sum 1\nh_count 5\n",
+	}
+	for name, payload := range cases {
+		if err := LintText(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, payload)
+		}
+	}
+	if err := LintText(strings.NewReader("# a plain comment\nok_metric 1 1700000000\n")); err != nil {
+		t.Errorf("valid payload rejected: %v", err)
+	}
+}
+
+// TestHotOpsZeroAlloc: instrument operations on resolved handles must not
+// allocate — they sit on the simulator's publish path.
+func TestHotOpsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_c", "")
+	g := r.Gauge("test_g", "")
+	h := r.Histogram("test_h", "", []uint64{1, 8, 64})
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.Add(1)
+		h.Observe(7)
+	})
+	if allocs != 0 {
+		t.Errorf("instrument ops allocate %.1f/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentScrape races writers against snapshotters; run under
+// -race this proves a scrape mid-run is safe.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	c := r.Counter("test_events_total", "events")
+	cv := r.CounterVec("test_kinds_total", "by kind", "kind")
+	h := r.Histogram("test_sizes", "sizes", []uint64{1, 4, 16})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				cv.With(lbl).Add(2)
+				h.Observe(uint64(w))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var b bytes.Buffer
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := LintText(bytes.NewReader(b.Bytes())); err != nil {
+			t.Fatalf("mid-run scrape failed lint: %v", err)
+		}
+		var js bytes.Buffer
+		if err := r.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		var s Snapshot
+		if err := json.Unmarshal(js.Bytes(), &s); err != nil {
+			t.Fatalf("mid-run JSON does not parse: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestEnableSwitch(t *testing.T) {
+	if !Enabled() {
+		t.Fatal("metrics must default to enabled")
+	}
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("SetEnabled(false) did not take")
+	}
+	SetEnabled(true)
+}

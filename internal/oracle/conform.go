@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"dtsvliw/internal/core"
+	"dtsvliw/internal/metrics"
 	"dtsvliw/internal/progen"
 	"dtsvliw/internal/vliw"
 )
@@ -207,6 +208,12 @@ type SweepOptions struct {
 	// nil unless the run failed; the pointee is a private copy the
 	// callback may retain).
 	Progress func(done, total int, f *Failure)
+	// Metrics selects the registry the sweep publishes its progress and
+	// occupancy instruments to, and is threaded into every machine the
+	// sweep builds (core.Config.Metrics); nil publishes to
+	// metrics.Default. Ignored entirely when the process-wide switch is
+	// off (metrics.SetEnabled(false)).
+	Metrics *metrics.Registry
 }
 
 // caseResult is the outcome of one sweep case, self-contained so cases
@@ -226,21 +233,36 @@ type sweepRunner struct {
 	shapes  []progen.Shape
 	configs []NamedConfig
 	diffRun func(string, core.Config) (*Result, error)
+
+	// Metrics plumbing (nil when the process-wide switch is off): reg is
+	// threaded into every machine config so core-layer counters land in
+	// the same registry; wp is this worker's pre-resolved attribution
+	// counter; lastHits/lastMisses are the cursor for publishing pool
+	// counter deltas after each case.
+	sm                   *sweepMetrics
+	reg                  *metrics.Registry
+	sc                   *SweepContext
+	wp                   *metrics.Counter
+	lastHits, lastMisses uint64
 }
 
-func newSweepRunner(o SweepOptions, shapes []progen.Shape, configs []NamedConfig) *sweepRunner {
-	r := &sweepRunner{o: o, shapes: shapes, configs: configs}
+func newSweepRunner(o SweepOptions, shapes []progen.Shape, configs []NamedConfig, sm *sweepMetrics, worker int) *sweepRunner {
+	r := &sweepRunner{o: o, shapes: shapes, configs: configs, sm: sm}
+	if sm != nil {
+		r.reg = sm.reg
+		r.wp = sm.workerPrograms.With(workerLabel(worker))
+	}
 	switch {
 	case o.NoReuse && o.EngineDiff:
 		r.diffRun = RunDiffEngines
 	case o.NoReuse:
 		r.diffRun = RunDiff
 	default:
-		sc := NewSweepContext()
+		r.sc = NewSweepContext()
 		if o.EngineDiff {
-			r.diffRun = sc.RunDiffEngines
+			r.diffRun = r.sc.RunDiffEngines
 		} else {
-			r.diffRun = sc.RunDiff
+			r.diffRun = r.sc.RunDiff
 		}
 	}
 	return r
@@ -248,11 +270,25 @@ func newSweepRunner(o SweepOptions, shapes []progen.Shape, configs []NamedConfig
 
 // runCase generates, runs and (on divergence) shrinks case i.
 func (r *sweepRunner) runCase(i int) caseResult {
+	if r.sm != nil {
+		r.sm.busy.Add(1)
+		defer func() {
+			r.wp.Inc()
+			if r.sc != nil {
+				p := r.sc.Pool()
+				r.sm.poolHits.Add(p.Hits - r.lastHits)
+				r.sm.poolMisses.Add(p.Misses - r.lastMisses)
+				r.lastHits, r.lastMisses = p.Hits, p.Misses
+			}
+			r.sm.busy.Add(-1)
+		}()
+	}
 	seed := r.o.Seed + int64(i)
 	shape := r.shapes[i%len(r.shapes)]
 	nc := r.configs[(i/len(r.shapes))%len(r.configs)]
 	nc.Cfg.VerifyBlocks = r.o.VerifyBlocks
 	nc.Cfg.FastForward = r.o.FastForward
+	nc.Cfg.Metrics = r.reg
 	src := progen.Generate(progen.ShapeParams(shape, seed))
 
 	res, err := r.diffRun(src, nc.Cfg)
@@ -279,15 +315,26 @@ func (r *sweepRunner) runCase(i int) caseResult {
 // reports whether the failure budget is exhausted. Progress receives a
 // private copy of the failure, never a pointer into rep.Failures (whose
 // backing array relocates as it grows).
-func consume(rep *Report, o SweepOptions, cr caseResult, i, maxFail int) (stop bool) {
+func consume(rep *Report, o SweepOptions, sm *sweepMetrics, cr caseResult, i, maxFail int) (stop bool) {
 	rep.Runs++
+	if sm != nil {
+		sm.programs.Inc()
+	}
 	if cr.failure == nil {
 		rep.Instret += cr.instret
 		rep.Cycles += cr.cycles
+		if sm != nil {
+			sm.instret.Add(cr.instret)
+			sm.cycles.Add(cr.cycles)
+			sm.programCycles.Observe(cr.cycles)
+		}
 		if o.Progress != nil {
 			o.Progress(i+1, o.N, nil)
 		}
 		return false
+	}
+	if sm != nil {
+		sm.divergences.Inc()
 	}
 	rep.Failures = append(rep.Failures, *cr.failure)
 	if o.Progress != nil {
@@ -326,11 +373,24 @@ func Sweep(o SweepOptions) *Report {
 		workers = o.N
 	}
 
+	var sm *sweepMetrics
+	if metrics.Enabled() {
+		reg := o.Metrics
+		if reg == nil {
+			reg = metrics.Default()
+		}
+		sm = newSweepMetrics(reg)
+		sm.active.Add(1)
+		defer sm.active.Add(-1)
+		sm.cases.Set(int64(o.N))
+		sm.workers.Set(int64(workers))
+	}
+
 	rep := &Report{}
 	if workers <= 1 {
-		r := newSweepRunner(o, shapes, configs)
+		r := newSweepRunner(o, shapes, configs, sm, 0)
 		for i := 0; i < o.N; i++ {
-			if consume(rep, o, r.runCase(i), i, maxFail) {
+			if consume(rep, o, sm, r.runCase(i), i, maxFail) {
 				break
 			}
 		}
@@ -353,9 +413,9 @@ func Sweep(o SweepOptions) *Report {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			r := newSweepRunner(o, shapes, configs)
+			r := newSweepRunner(o, shapes, configs, sm, w)
 			for {
 				mu.Lock()
 				if next >= stopAt {
@@ -371,7 +431,7 @@ func Sweep(o SweepOptions) *Report {
 				cond.Broadcast()
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < o.N; i++ {
 		mu.Lock()
@@ -381,7 +441,7 @@ func Sweep(o SweepOptions) *Report {
 		cr := *results[i]
 		results[i] = nil
 		mu.Unlock()
-		if consume(rep, o, cr, i, maxFail) {
+		if consume(rep, o, sm, cr, i, maxFail) {
 			mu.Lock()
 			stopAt = 0
 			mu.Unlock()

@@ -1,0 +1,63 @@
+package oracle
+
+import (
+	"fmt"
+
+	"dtsvliw/internal/metrics"
+)
+
+// sweepMetrics holds the registry instruments a conformance sweep
+// publishes (DESIGN.md §17): aggregate progress counters updated by the
+// in-order merger (deterministic final values), plus worker-occupancy
+// instrumentation updated by the workers themselves (scheduling-
+// dependent by nature — throughput observability, not part of the
+// deterministic report).
+type sweepMetrics struct {
+	reg *metrics.Registry
+
+	// Merger-owned: updated in consume, strictly in case order, so their
+	// final values reconcile exactly with the Report.
+	programs      *metrics.Counter
+	divergences   *metrics.Counter
+	instret       *metrics.Counter
+	cycles        *metrics.Counter
+	programCycles *metrics.Histogram
+
+	// Run-shape gauges.
+	active  *metrics.Gauge
+	cases   *metrics.Gauge
+	workers *metrics.Gauge
+
+	// Worker-owned: occupancy and attribution. Which worker runs which
+	// case depends on goroutine scheduling, so per-worker values vary run
+	// to run; their sums do not (every case runs exactly once on a clean
+	// sweep).
+	busy           *metrics.Gauge
+	workerPrograms *metrics.CounterVec
+	poolHits       *metrics.Counter
+	poolMisses     *metrics.Counter
+}
+
+func newSweepMetrics(reg *metrics.Registry) *sweepMetrics {
+	return &sweepMetrics{
+		reg:         reg,
+		programs:    reg.Counter("dtsvliw_sweep_programs_total", "sweep cases merged into the report"),
+		divergences: reg.Counter("dtsvliw_sweep_divergences_total", "sweep cases that failed (divergence or harness error)"),
+		instret:     reg.Counter("dtsvliw_sweep_instret_total", "sequential instructions checked by successful cases"),
+		cycles:      reg.Counter("dtsvliw_sweep_cycles_total", "DTSVLIW cycles simulated by successful cases"),
+		programCycles: reg.Histogram("dtsvliw_sweep_program_cycles",
+			"DTSVLIW cycles per successful sweep case",
+			[]uint64{1_000, 10_000, 100_000, 1_000_000, 10_000_000}),
+		active:         reg.Gauge("dtsvliw_sweeps_active", "sweeps currently running"),
+		cases:          reg.Gauge("dtsvliw_sweep_cases", "case count of the most recently started sweep"),
+		workers:        reg.Gauge("dtsvliw_sweep_workers", "worker count of the most recently started sweep"),
+		busy:           reg.Gauge("dtsvliw_sweep_busy_workers", "workers currently executing a case"),
+		workerPrograms: reg.CounterVec("dtsvliw_sweep_worker_programs_total", "cases completed per worker", "worker"),
+		poolHits:       reg.Counter("dtsvliw_sweep_pool_hits_total", "machine-pool gets served by a recycled context"),
+		poolMisses:     reg.Counter("dtsvliw_sweep_pool_misses_total", "machine-pool gets that built a fresh context"),
+	}
+}
+
+// workerLabel formats a worker index as a fixed-width label so series
+// sort numerically.
+func workerLabel(w int) string { return fmt.Sprintf("%02d", w) }

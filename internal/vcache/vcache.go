@@ -63,6 +63,14 @@ type chainEdge struct {
 // uses it as the "not executing from a cached line" sentinel.
 const NoLine int32 = -1
 
+// SetGroups is the number of set-index buckets the per-set activity
+// counters aggregate into. A large VLIW Cache has thousands of sets —
+// far too many for one metric series each — so sets are folded into
+// SetGroups contiguous groups (group g covers sets [g*sets/SetGroups,
+// (g+1)*sets/SetGroups)), enough to see hot-set skew without exploding
+// metric cardinality.
+const SetGroups = 16
+
 // Cache is the VLIW Cache.
 type Cache struct {
 	cfg     Config
@@ -81,6 +89,17 @@ type Cache struct {
 	Stores     uint64 // blocks saved
 	Replaced   uint64 // valid blocks evicted
 	Invalidats uint64
+
+	// Per-set-group activity (DESIGN.md §17): lookups (hits + misses,
+	// chain hits included), hits, evictions and invalidations bucketed by
+	// set index into SetGroups groups. groupShift maps a set index to its
+	// group. Plain single-owner counters like the totals above; the
+	// metrics publisher snapshots them at coarse sync points.
+	SetLookups       [SetGroups]uint64
+	SetHits          [SetGroups]uint64
+	SetEvictions     [SetGroups]uint64
+	SetInvalidations [SetGroups]uint64
+	groupShift       uint
 
 	// Chain-link statistics: ChainHits counts transitions resolved by
 	// Follow (each also counts in Hits — a chain hit is architecturally a
@@ -143,6 +162,9 @@ func New(cfg Config) (*Cache, error) {
 	}
 	c.sets = pow
 	c.setMask = uint32(pow - 1)
+	for (c.sets >> c.groupShift) > SetGroups {
+		c.groupShift++
+	}
 	c.lines = make([]line, c.sets*cfg.Assoc)
 	return c, nil
 }
@@ -156,6 +178,14 @@ func (c *Cache) Sets() int { return c.sets }
 // set maps a block tag (SPARC instruction address) to its set index.
 func (c *Cache) set(tag uint32) int { return int((tag >> 2) & c.setMask) }
 
+// group maps a set index to its set-group bucket.
+func (c *Cache) group(set int) int { return set >> c.groupShift }
+
+// lineGroup maps a line index to its set-group bucket.
+func (c *Cache) lineGroup(line int32) int {
+	return c.group(int(line) / c.cfg.Assoc)
+}
+
 // Lookup finds the block tagged with (addr, cwp). The window pointer is
 // part of the tag: the physical register addresses recorded in a block are
 // only valid at the window depth the block was scheduled at (see DESIGN.md
@@ -168,13 +198,17 @@ func (c *Cache) Lookup(addr uint32, cwp uint8) (Entry, bool) {
 // LookupLine is Lookup returning also the index of the hit line (NoLine
 // on a miss), so the machine can chain from it.
 func (c *Cache) LookupLine(addr uint32, cwp uint8) (Entry, int32, bool) {
-	base := c.set(addr) * c.cfg.Assoc
+	set := c.set(addr)
+	g := c.group(set)
+	c.SetLookups[g]++
+	base := set * c.cfg.Assoc
 	for i := 0; i < c.cfg.Assoc; i++ {
 		l := &c.lines[base+i]
 		if l.valid && l.tag == addr && l.cwp == cwp {
 			c.clock++
 			l.lru = c.clock
 			c.Hits++
+			c.SetHits[g]++
 			return l.ent, int32(base + i), true
 		}
 	}
@@ -214,6 +248,9 @@ func (c *Cache) Follow(from int32, pc uint32, cwp uint8) (Entry, int32, bool) {
 			t.lru = c.clock
 			c.Hits++
 			c.ChainHits++
+			g := c.lineGroup(e.to)
+			c.SetLookups[g]++
+			c.SetHits[g]++
 			return t.ent, e.to, true
 		}
 	}
@@ -315,6 +352,7 @@ func (c *Cache) Save(b *sched.Block, low *vliw.LoweredBlock) {
 		c.unlink(int32(victim))
 		if c.lines[victim].tag != b.Tag || c.lines[victim].cwp != b.EntryCWP {
 			c.Replaced++
+			c.SetEvictions[c.group(c.set(b.Tag))]++
 			if c.tel != nil {
 				c.tel.BlockEvicted(c.lines[victim].tag)
 			}
@@ -343,6 +381,7 @@ func (c *Cache) Invalidate(addr uint32, cwp uint8) {
 			c.unlink(int32(base + i))
 			l.valid = false
 			c.Invalidats++
+			c.SetInvalidations[c.group(c.set(addr))]++
 			if c.tel != nil {
 				c.tel.BlockInvalidated(addr)
 			}
@@ -373,4 +412,8 @@ func (c *Cache) Drain(fn func(Entry)) {
 	c.clock = 0
 	c.Hits, c.Misses, c.Stores, c.Replaced, c.Invalidats = 0, 0, 0, 0, 0
 	c.ChainHits, c.ChainLinks, c.ChainUnlinks = 0, 0, 0
+	c.SetLookups = [SetGroups]uint64{}
+	c.SetHits = [SetGroups]uint64{}
+	c.SetEvictions = [SetGroups]uint64{}
+	c.SetInvalidations = [SetGroups]uint64{}
 }

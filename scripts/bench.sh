@@ -19,6 +19,19 @@
 #                               machine entry's ns/instr overhead exceeds
 #                               PCT percent (default 10, the
 #                               zero-overhead-off contract's enabled bound)
+#   scripts/bench.sh metrics-gate [PCT]
+#                               same interleaved measurement for the
+#                               always-on metrics registry: machine rows
+#                               with the publisher disabled vs enabled,
+#                               failing when the MEAN ns/instr overhead
+#                               across rows exceeds PCT percent (default
+#                               2 — the publisher's cost is uniform, so a
+#                               real regression moves every row, while
+#                               single rows bounce past 2% on noise)
+#   scripts/bench.sh archive    copy the committed BENCH_SCHED.json into
+#                               bench_history/<utc-timestamp>-<git-sha>.json
+#                               so dtsvliw-benchreport can render the
+#                               perf trajectory across PRs
 #
 # Measurements are wall-clock sensitive: run on an idle machine and compare
 # against the committed file's go_version/goos/goarch/num_cpu header before
@@ -45,6 +58,23 @@ if [ "$1" = "telemetry-gate" ]; then
     pct="${1:-10}"
     case "$pct" in -*) pct=10 ;; *) [ $# -gt 0 ] && shift ;; esac
     exec go run ./cmd/experiments -bench-overhead-gate "$pct" "$@"
+fi
+
+if [ "$1" = "metrics-gate" ]; then
+    shift
+    pct="${1:-2}"
+    case "$pct" in -*) pct=2 ;; *) [ $# -gt 0 ] && shift ;; esac
+    exec go run ./cmd/experiments -bench-metrics-gate "$pct" "$@"
+fi
+
+if [ "$1" = "archive" ]; then
+    [ -f BENCH_SCHED.json ] || { echo "bench.sh archive: no BENCH_SCHED.json (run scripts/bench.sh first)" >&2; exit 1; }
+    mkdir -p bench_history
+    sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)
+    dst="bench_history/$(date -u +%Y%m%d%H%M%S)-$sha.json"
+    cp BENCH_SCHED.json "$dst"
+    echo "archived BENCH_SCHED.json -> $dst"
+    exit 0
 fi
 
 go run ./cmd/experiments -bench-out BENCH_SCHED.json "$@"
