@@ -30,6 +30,7 @@ import (
 	"dtsvliw/internal/arch"
 	"dtsvliw/internal/core"
 	"dtsvliw/internal/oracle"
+	"dtsvliw/internal/progcheck"
 	"dtsvliw/internal/workloads"
 )
 
@@ -78,6 +79,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -workload or -file")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Static pre-pass: every program is certified by progcheck before any
+	// simulation touches it. Hard diagnostics (structurally malformed
+	// programs) abort the matrix; advisory ones are summarised per run.
+	precheckFailed := false
+	for _, r := range runs {
+		src := r.source
+		if r.workload != nil {
+			src = r.workload.Source
+		}
+		pr, err := progcheck.Check(src, progcheck.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("progcheck %s: %w", r.name, err))
+		}
+		hard, advisory := len(pr.Unwaived(true)), len(pr.Unwaived(false))
+		if hard > 0 {
+			precheckFailed = true
+			fmt.Printf("FAIL %s: progcheck found %d hard diagnostic(s):\n", r.name, hard)
+			for _, d := range pr.Unwaived(true) {
+				fmt.Printf("  %s\n", d.String())
+			}
+		} else if *verbose || advisory > 0 {
+			fmt.Printf("ok   %-10s progcheck: %d blocks, %d loops, %d advisory diagnostic(s)\n",
+				r.name, len(pr.CFG.Blocks), len(pr.CFG.Loops), advisory)
+		}
+	}
+	if precheckFailed {
+		os.Exit(1)
 	}
 
 	// The run x config matrix: every cell is independent, so cells are

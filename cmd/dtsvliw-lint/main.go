@@ -1,9 +1,12 @@
 // Command dtsvliw-lint runs the repository's custom static-analysis
-// passes (internal/analysis) over the packages whose output must be
-// bit-for-bit reproducible. Findings print in the familiar
-// file:line:col form; any finding exits 1.
+// passes (internal/analysis) over the packages they apply to. Findings
+// print in the familiar file:line:col form; any finding exits 1.
 //
-// With no arguments the deterministic-output packages are checked:
+// With no arguments each pass checks its own default package set: the
+// determinism pass covers the packages whose emitted artifacts are
+// diffed against golden output, and the resetcheck pass covers the
+// machine packages whose pooled state is reused across runs. With
+// explicit package arguments, every pass runs over those packages:
 //
 //	dtsvliw-lint
 //	dtsvliw-lint dtsvliw/internal/telemetry dtsvliw/internal/stats
@@ -16,6 +19,7 @@ import (
 
 	"dtsvliw/internal/analysis"
 	"dtsvliw/internal/analysis/determinism"
+	"dtsvliw/internal/analysis/resetcheck"
 )
 
 // defaultTargets are the packages whose emitted artifacts (experiment
@@ -38,12 +42,21 @@ var defaultTargets = []string{
 	"dtsvliw/internal/introspect",
 }
 
-func main() {
-	targets := os.Args[1:]
-	if len(targets) == 0 {
-		targets = defaultTargets
-	}
+// resetTargets are the packages whose state objects are pooled and
+// reused (machine contexts, scheduler pools, cache models): their Reset
+// methods must cover every field or carry a reviewed waiver.
+var resetTargets = []string{
+	"dtsvliw/internal/arch",
+	"dtsvliw/internal/core",
+	"dtsvliw/internal/isa",
+	"dtsvliw/internal/mem",
+	"dtsvliw/internal/primary",
+	"dtsvliw/internal/sched",
+	"dtsvliw/internal/vcache",
+	"dtsvliw/internal/vliw",
+}
 
+func main() {
 	wd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
@@ -57,31 +70,57 @@ func main() {
 		fatal(err)
 	}
 
-	var pkgs []*analysis.Package
-	for _, t := range targets {
-		pkg, err := loader.Load(t)
+	load := func(targets []string) []*analysis.Package {
+		var pkgs []*analysis.Package
+		for _, t := range targets {
+			pkg, err := loader.Load(t)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		return pkgs
+	}
+
+	// Each pass runs over its own default package set, or every pass over
+	// the explicitly named packages.
+	type job struct {
+		analyzers []*analysis.Analyzer
+		pkgs      []*analysis.Package
+	}
+	var jobs []job
+	npkgs := 0
+	if args := os.Args[1:]; len(args) > 0 {
+		pkgs := load(args)
+		jobs = append(jobs, job{[]*analysis.Analyzer{determinism.Analyzer, resetcheck.Analyzer}, pkgs})
+		npkgs = len(pkgs)
+	} else {
+		jobs = append(jobs,
+			job{[]*analysis.Analyzer{determinism.Analyzer}, load(defaultTargets)},
+			job{[]*analysis.Analyzer{resetcheck.Analyzer}, load(resetTargets)})
+		npkgs = len(defaultTargets) + len(resetTargets)
+	}
+
+	total := 0
+	for _, j := range jobs {
+		diags, err := analysis.Run(j.analyzers, j.pkgs)
 		if err != nil {
 			fatal(err)
 		}
-		pkgs = append(pkgs, pkg)
-	}
-
-	diags, err := analysis.Run([]*analysis.Analyzer{determinism.Analyzer}, pkgs)
-	if err != nil {
-		fatal(err)
-	}
-	for _, d := range diags {
-		pos := loader.Fset.Position(d.Pos)
-		rel, rerr := filepath.Rel(root, pos.Filename)
-		if rerr != nil {
-			rel = pos.Filename
+		total += len(diags)
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			rel, rerr := filepath.Rel(root, pos.Filename)
+			if rerr != nil {
+				rel = pos.Filename
+			}
+			fmt.Printf("%s:%d:%d: %s [%s]\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer)
 		}
-		fmt.Printf("%s:%d:%d: %s [%s]\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer)
 	}
-	if len(diags) > 0 {
+	if total > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("dtsvliw-lint: %d packages clean\n", len(pkgs))
+	fmt.Printf("dtsvliw-lint: %d packages clean\n", npkgs)
 }
 
 func fatal(err error) {

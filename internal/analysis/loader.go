@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -123,7 +124,10 @@ func (l *Loader) Load(path string) (*Package, error) {
 	for _, n := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			// A scanner.ErrorList already carries file:line:col per entry;
+			// name the package so the failing file is findable from the
+			// lint driver's one-line fatal output.
+			return nil, &LoadError{Path: path, Phase: "parsing", Errs: splitErrs(err)}
 		}
 		files = append(files, f)
 	}
@@ -134,8 +138,20 @@ func (l *Loader) Load(path string) (*Package, error) {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: l}
+	// Collect every type error with its position instead of stopping at
+	// the checker's first complaint: a broken package surfaces as one
+	// report naming each offending file:line, not as a scavenger hunt.
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
 	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, &LoadError{Path: path, Phase: "type-checking", Errs: typeErrs}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
@@ -143,6 +159,32 @@ func (l *Loader) Load(path string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// LoadError reports every parse or type error of one package, each entry
+// carrying its file:line:col position.
+type LoadError struct {
+	Path  string   // import path of the package that failed to load
+	Phase string   // "parsing" or "type-checking"
+	Errs  []string // one positioned message per error
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("analysis: %s %s: %d error(s):\n\t%s",
+		e.Phase, e.Path, len(e.Errs), strings.Join(e.Errs, "\n\t"))
+}
+
+// splitErrs flattens a scanner.ErrorList (or any other error) into one
+// message per entry.
+func splitErrs(err error) []string {
+	if list, ok := err.(scanner.ErrorList); ok {
+		out := make([]string, len(list))
+		for i, e := range list {
+			out[i] = e.Error()
+		}
+		return out
+	}
+	return []string{err.Error()}
 }
 
 // Import implements types.Importer: module-local paths load through the

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module with the given files (paths
+// relative to the module root) and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadTypeErrorsCarryPositions(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.21\n",
+		"bad/bad.go": `package bad
+
+func f() int {
+	var s string
+	return s // type error: string as int
+}
+
+func g() {
+	undefinedFunc() // second error, must also be reported
+}
+`,
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Load("example.com/m/bad")
+	if err == nil {
+		t.Fatal("Load of a type-broken package succeeded")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is %T, want *LoadError: %v", err, err)
+	}
+	if le.Phase != "type-checking" || le.Path != "example.com/m/bad" {
+		t.Fatalf("LoadError = %q phase %q, want the bad package in type-checking", le.Path, le.Phase)
+	}
+	if len(le.Errs) < 2 {
+		t.Fatalf("got %d collected errors, want both: %v", len(le.Errs), le.Errs)
+	}
+	msg := err.Error()
+	for _, want := range []string{"bad.go:5", "bad.go:9"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message lacks position %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestLoadParseErrorsCarryPositions(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.21\n",
+		"syn/syn.go": `package syn
+
+func broken( {
+`,
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Load("example.com/m/syn")
+	if err == nil {
+		t.Fatal("Load of a syntactically broken package succeeded")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is %T, want *LoadError: %v", err, err)
+	}
+	if le.Phase != "parsing" {
+		t.Fatalf("phase = %q, want parsing", le.Phase)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "syn.go:3") {
+		t.Errorf("error message lacks file:line of the syntax error:\n%s", msg)
+	}
+}
+
+func TestLoadCleanPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.21\n",
+		"ok/ok.go": `package ok
+
+// V is exported.
+var V = 1
+`,
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("example.com/m/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "ok" {
+		t.Fatalf("loaded package %q, want ok", pkg.Types.Name())
+	}
+}

@@ -1,0 +1,239 @@
+// Package resetcheck implements the dtsvliw reset-completeness lint pass.
+//
+// The simulator pools and reuses its heavyweight machine state (machine
+// contexts in the oracle sweeps, scheduler pools, cache models): a
+// Reset method that forgets one field silently leaks state from one run
+// into the next, which surfaces as an irreproducible divergence far from
+// the cause. For every named struct type with a pointer-receiver Reset
+// method, the pass checks that every field is either assigned by Reset
+// (directly, through a whole-struct assignment, via clear/copy, via a
+// method call on the field, or inside another method of the same
+// receiver that Reset calls) or explicitly waived.
+//
+// A field is waived with a "//resetcheck:allow" comment on the field's
+// declaration line or the line directly above — the reviewed way to say
+// the field intentionally survives a reset (configuration fixed at
+// construction, memory images reloaded by the caller, caches that are
+// themselves reused).
+package resetcheck
+
+import (
+	"go/ast"
+	"go/token"
+
+	"dtsvliw/internal/analysis"
+)
+
+// Analyzer is the reset-completeness pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "resetcheck",
+	Doc:  "every struct field must be assigned or explicitly waived in the type's Reset method",
+	Run:  run,
+}
+
+// AllowDirective is the suppression comment the pass honours.
+const AllowDirective = "//resetcheck:allow"
+
+func run(pass *analysis.Pass) error {
+	// Gather, per receiver type name: the struct declaration, the Reset
+	// method, and every other method (for transitive assignment tracking).
+	structs := map[string]*ast.StructType{}
+	methods := map[string]map[string]*ast.FuncDecl{}
+	allowed := map[*ast.File]map[int]bool{}
+	for _, f := range pass.Files {
+		allowed[f] = allowedLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				if st, ok := n.Type.(*ast.StructType); ok {
+					structs[n.Name.Name] = st
+				}
+			case *ast.FuncDecl:
+				if name, ok := ptrRecvType(n); ok {
+					if methods[name] == nil {
+						methods[name] = map[string]*ast.FuncDecl{}
+					}
+					methods[name][n.Name.Name] = n
+				}
+				return false
+			}
+			return true
+		})
+	}
+
+	for typeName, ms := range methods {
+		reset, hasReset := ms["Reset"]
+		st, hasStruct := structs[typeName]
+		if !hasReset || !hasStruct || reset.Body == nil {
+			continue
+		}
+		handled := map[string]bool{}
+		full := false
+		visited := map[string]bool{}
+		var analyze func(fd *ast.FuncDecl)
+		analyze = func(fd *ast.FuncDecl) {
+			if visited[fd.Name.Name] || fd.Body == nil {
+				return
+			}
+			visited[fd.Name.Name] = true
+			recv := recvName(fd)
+			if recv == "" {
+				return
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if isStarRecv(lhs, recv) {
+							full = true
+						}
+						if f, ok := baseField(lhs, recv); ok {
+							handled[f] = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if f, ok := baseField(n.X, recv); ok {
+						handled[f] = true
+					}
+				case *ast.UnaryExpr:
+					// &recv.f escaping to a helper that reinitialises it.
+					if n.Op == token.AND {
+						if f, ok := baseField(n.X, recv); ok {
+							handled[f] = true
+						}
+					}
+				case *ast.CallExpr:
+					switch fun := n.Fun.(type) {
+					case *ast.Ident:
+						// clear(recv.f), copy(recv.f, ...).
+						if (fun.Name == "clear" || fun.Name == "copy") && len(n.Args) > 0 {
+							if f, ok := baseField(n.Args[0], recv); ok {
+								handled[f] = true
+							}
+						}
+					case *ast.SelectorExpr:
+						// recv.f.Method(...): the field resets itself.
+						if f, ok := baseField(fun.X, recv); ok {
+							handled[f] = true
+						}
+						// recv.helper(...): follow into the sibling method.
+						if id, ok := fun.X.(*ast.Ident); ok && id.Name == recv {
+							if sib, ok := ms[fun.Sel.Name]; ok {
+								analyze(sib)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		analyze(reset)
+		if full {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if len(field.Names) == 0 {
+				continue // embedded: resetting it is the embedded type's business
+			}
+			for _, name := range field.Names {
+				if handled[name.Name] || waived(pass, allowed, name.Pos()) {
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"%s.%s is never assigned in (*%s).Reset; pooled reuse will leak it across runs (%s to waive)",
+					typeName, name.Name, typeName, AllowDirective)
+			}
+		}
+	}
+	return nil
+}
+
+// ptrRecvType returns the receiver type name of a pointer-receiver method.
+func ptrRecvType(fd *ast.FuncDecl) (string, bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", false
+	}
+	star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return "", false
+	}
+	switch t := star.X.(type) {
+	case *ast.Ident:
+		return t.Name, true
+	case *ast.IndexExpr: // generic receiver *T[P]
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+// recvName returns the receiver variable name ("" if anonymous).
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// isStarRecv reports whether expr is "*recv" (a whole-struct overwrite).
+func isStarRecv(expr ast.Expr, recv string) bool {
+	star, ok := expr.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	id, ok := star.X.(*ast.Ident)
+	return ok && id.Name == recv
+}
+
+// baseField unwraps index, slice, star and paren layers and reports the
+// receiver field at the base of the expression: recv.f, recv.f[i],
+// recv.f[i].g = ... all resolve to "f".
+func baseField(expr ast.Expr, recv string) (string, bool) {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if id, ok := e.X.(*ast.Ident); ok && id.Name == recv {
+				return e.Sel.Name, true
+			}
+			expr = e.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// allowedLines collects the lines covered by an AllowDirective comment:
+// the comment's own line and the one below it.
+func allowedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if len(c.Text) >= len(AllowDirective) && c.Text[:len(AllowDirective)] == AllowDirective {
+				line := fset.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+	return lines
+}
+
+// waived reports whether pos falls on a waived line of its file.
+func waived(pass *analysis.Pass, allowed map[*ast.File]map[int]bool, pos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	for f, lines := range allowed { //determinism:allow any match suffices, order-independent
+		if pass.Fset.Position(f.Pos()).Filename == p.Filename {
+			return lines[p.Line]
+		}
+	}
+	return false
+}

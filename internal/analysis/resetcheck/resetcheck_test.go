@@ -1,0 +1,195 @@
+package resetcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dtsvliw/internal/analysis"
+)
+
+// check runs the analyzer over one throwaway package and returns the
+// finding messages.
+func check(t *testing.T, src string) []string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"),
+		[]byte("module example.com/m\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "p"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "p", "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("example.com/m/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{Analyzer}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	return msgs
+}
+
+func wantFindings(t *testing.T, msgs []string, fields ...string) {
+	t.Helper()
+	if len(msgs) != len(fields) {
+		t.Fatalf("got %d findings %v, want %d (%v)", len(msgs), msgs, len(fields), fields)
+	}
+	for i, f := range fields {
+		if !strings.Contains(msgs[i], f) {
+			t.Errorf("finding %d = %q, want it to name %s", i, msgs[i], f)
+		}
+	}
+}
+
+func TestMissedFieldIsReported(t *testing.T) {
+	msgs := check(t, `package p
+
+type S struct {
+	a int
+	b int
+}
+
+func (s *S) Reset() {
+	s.a = 0
+}
+`)
+	wantFindings(t, msgs, "S.b")
+}
+
+func TestAssignedFormsAreHandled(t *testing.T) {
+	msgs := check(t, `package p
+
+type Inner struct{ n int }
+
+func (i *Inner) Reset() { i.n = 0 }
+
+type S struct {
+	direct   int
+	indexed  [4]int
+	sliced   []int
+	cleared  map[int]int
+	copied   []byte
+	reffed   int
+	method   Inner
+	bumped   int
+	multi1   int
+	multi2   int
+}
+
+func zero(p *int) { *p = 0 }
+
+func (s *S) Reset() {
+	s.direct = 0
+	s.indexed[0] = 0
+	s.sliced = s.sliced[:0]
+	clear(s.cleared)
+	copy(s.copied, "x")
+	zero(&s.reffed)
+	s.method.Reset()
+	s.bumped++
+	s.multi1, s.multi2 = 0, 0
+}
+`)
+	wantFindings(t, msgs)
+}
+
+func TestWholeStructOverwriteHandlesEverything(t *testing.T) {
+	msgs := check(t, `package p
+
+type S struct {
+	a int
+	b string
+}
+
+func (s *S) Reset() {
+	*s = S{}
+}
+`)
+	wantFindings(t, msgs)
+}
+
+func TestTransitiveSiblingMethod(t *testing.T) {
+	msgs := check(t, `package p
+
+type S struct {
+	a int
+	b int
+	c int
+}
+
+func (s *S) Reset() {
+	s.a = 0
+	s.clearRest()
+}
+
+func (s *S) clearRest() {
+	s.b = 0
+}
+`)
+	wantFindings(t, msgs, "S.c")
+}
+
+func TestWaiverSuppresses(t *testing.T) {
+	msgs := check(t, `package p
+
+type S struct {
+	a   int
+	cfg int //resetcheck:allow fixed at construction
+	//resetcheck:allow memo kept warm on purpose
+	memo map[int]int
+}
+
+func (s *S) Reset() {
+	s.a = 0
+}
+`)
+	wantFindings(t, msgs)
+}
+
+func TestTypesWithoutResetAreIgnored(t *testing.T) {
+	msgs := check(t, `package p
+
+type S struct {
+	a int
+}
+
+func (s *S) Clear() {}
+
+type V struct{ b int }
+
+func (v V) Reset() {} // value receiver: not a pooled-reset method
+`)
+	wantFindings(t, msgs)
+}
+
+func TestRecursiveResetTerminates(t *testing.T) {
+	msgs := check(t, `package p
+
+type S struct {
+	a int
+}
+
+func (s *S) Reset() {
+	s.helper()
+}
+
+func (s *S) helper() {
+	s.Reset() // cycle must not hang the pass
+}
+`)
+	wantFindings(t, msgs, "S.a")
+}

@@ -30,7 +30,7 @@ type StoreRec struct {
 
 // State is the full architectural state of one SPARC V7 machine.
 type State struct {
-	NWin int      // register windows
+	NWin int      //resetcheck:allow window-file geometry is fixed at construction
 	Regs []uint32 // 8 + NWin*16 physical integer registers; [0] is %g0
 	F    [32]uint32
 	icc  uint8
@@ -39,7 +39,7 @@ type State struct {
 	cwp  uint8
 	PC   uint32
 
-	Mem *mem.Memory
+	Mem *mem.Memory //resetcheck:allow the program image is the caller's to reload (see Reset doc)
 
 	Halted   bool
 	ExitCode uint32
@@ -54,7 +54,7 @@ type State struct {
 	LogStores bool
 	StoreLog  []StoreRec
 
-	dec *decodeCache
+	dec *decodeCache //resetcheck:allow pure function of raw instruction bits; sharing it across runs is the point
 }
 
 // NewState builds a machine state with nwin register windows over m.

@@ -43,7 +43,17 @@ type Program struct {
 	Symbols  map[string]uint32
 	TextBase uint32
 	TextSize uint32
+	// PCLine maps each emitted instruction address to the 1-based source
+	// line it was assembled from. Pseudo-instructions that expand to
+	// several words (set, ...) map every word to the same line. Static
+	// checkers (internal/progcheck) use it to report diagnostics against
+	// the assembly source and to honour line-scoped waiver comments.
+	PCLine map[uint32]int
 }
+
+// LineOf returns the source line the instruction at addr was assembled
+// from, or 0 if addr holds no emitted instruction (data, padding).
+func (p *Program) LineOf(addr uint32) int { return p.PCLine[addr] }
 
 // Load copies the program into memory and returns nothing; pages are
 // mapped as needed.
@@ -77,6 +87,8 @@ type assembler struct {
 	// instead of one per instruction (the dominant allocation site of
 	// whole-workload benchmark rows).
 	ops []string
+	// pcLine records instruction address -> source line on pass 2.
+	pcLine map[uint32]int
 }
 
 type secState struct {
@@ -95,6 +107,7 @@ func Assemble(source string) (*Program, error) {
 		lines:    strings.Split(source, "\n"),
 		symbols:  make(map[string]uint32),
 		sections: make(map[string]*secState),
+		pcLine:   make(map[uint32]int),
 	}
 	a.sections["text"] = &secState{name: "text", base: 0x1000, pc: 0x1000}
 	a.sections["data"] = &secState{name: "data", base: 0x40000, pc: 0x40000}
@@ -113,7 +126,7 @@ func Assemble(source string) (*Program, error) {
 		}
 	}
 
-	p := &Program{Symbols: a.symbols}
+	p := &Program{Symbols: a.symbols, PCLine: a.pcLine}
 	for _, name := range []string{"text", "data"} {
 		s := a.sections[name]
 		if len(s.bytes) > 0 {
@@ -275,6 +288,9 @@ func (a *assembler) emit(lineNo int, in isa.Inst) error {
 	w, err := isa.Encode(in)
 	if err != nil {
 		return a.errf(lineNo, "%v", err)
+	}
+	if a.pass == 2 {
+		a.pcLine[a.cur.pc] = lineNo
 	}
 	a.emitBytes([]byte{byte(w >> 24), byte(w >> 16), byte(w >> 8), byte(w)})
 	return nil

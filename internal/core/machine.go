@@ -32,10 +32,12 @@ const (
 
 // Machine is a complete DTSVLIW processor.
 type Machine struct {
-	cfg Config
+	cfg Config //resetcheck:allow configuration is fixed at construction
 
 	// St is the architectural state shared by the Primary Processor and
-	// the VLIW Engine.
+	// the VLIW Engine. It is the caller's to reset and reload between
+	// runs (see Reset and MachineContext).
+	//resetcheck:allow
 	St *arch.State
 	// Ref is the lockstep sequential test machine (TestMode only).
 	Ref *arch.State
@@ -57,33 +59,34 @@ type Machine struct {
 	// chain edges tolerate by construction (a present edge always targets
 	// the line an associative lookup would return; see vcache.Follow).
 	curLine int32
-	// engRes is the chained dispatch loop's reusable ExecLIInto result.
-	engRes        vliw.Result
-	seq           uint64 // sequential instructions covered so far
-	drain         int    // long instructions still draining from the last flush
-	skipProbe     bool   // suppress one VLIW Cache probe after a handover
-	excBudget     uint64 // exception mode: Primary-only instructions left
+	// engRes is the chained dispatch loop's reusable ExecLIInto result,
+	// fully overwritten by each ExecLIInto call.
+	engRes        vliw.Result //resetcheck:allow scratch result, overwritten before every read
+	seq           uint64      // sequential instructions covered so far
+	drain         int         // long instructions still draining from the last flush
+	skipProbe     bool        // suppress one VLIW Cache probe after a handover
+	excBudget     uint64      // exception mode: Primary-only instructions left
 	pendingExcErr error
 
 	journal []arch.StoreRec // machine-side stores since the last sync
 
 	// effReads/effWrites are scratch buffers for pipeline pricing, reused
 	// across stepPrimary calls so footprint computation never allocates.
-	effReads  []isa.Loc
-	effWrites []isa.Loc
+	effReads  []isa.Loc //resetcheck:allow scratch, truncated at each use
+	effWrites []isa.Loc //resetcheck:allow scratch, truncated at each use
 
 	// whereMemo caches the per-PC checkpoint descriptions of the Primary
 	// Processor fast path ("primary pc=..."), which would otherwise be
 	// formatted once per instruction whenever a CheckpointHook or the
 	// test machine observes them. An entry is a pure function of the PC,
 	// so the memo survives Reset and stays valid across pooled reuse.
-	whereMemo map[uint32]string
+	whereMemo map[uint32]string //resetcheck:allow pure function of the PC, deliberately kept warm
 
 	// tel is the telemetry collector (nil when disabled; every hook site
 	// is nil-guarded). telCols is a scratch buffer for per-column slot
 	// occupancy at block-save time.
-	tel     *telemetry.Collector
-	telCols []uint32
+	tel     *telemetry.Collector //resetcheck:allow Reset refuses telemetry machines (MachinePool gates them out)
+	telCols []uint32             //resetcheck:allow scratch tied to tel, truncated at each use
 
 	// pub is the always-on metrics publisher (DESIGN.md §17), flushing
 	// counter deltas into the configured registry at coarse sync points;

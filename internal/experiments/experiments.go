@@ -412,17 +412,18 @@ func Table1(o Options) (*stats.Table, error) {
 
 // Runner maps experiment names to runners.
 var Runner = map[string]func(Options) (*stats.Table, error){
-	"table1":   Table1,
-	"table2":   Table2,
-	"table3":   Table3,
-	"fig5":     Fig5,
-	"fig6":     Fig6,
-	"fig7":     Fig7,
-	"fig8":     Fig8,
-	"fig9":     Fig9,
-	"ext":      Extensions,
-	"profile":  Profile,
-	"schedgap": SchedGap,
+	"table1":      Table1,
+	"table2":      Table2,
+	"table3":      Table3,
+	"fig5":        Fig5,
+	"fig6":        Fig6,
+	"fig7":        Fig7,
+	"fig8":        Fig8,
+	"fig9":        Fig9,
+	"ext":         Extensions,
+	"profile":     Profile,
+	"schedgap":    SchedGap,
+	"staticbound": StaticBound,
 }
 
 // Order lists experiments in the paper's order, ending with this

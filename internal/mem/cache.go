@@ -32,12 +32,12 @@ func (c CacheConfig) Validate() error {
 // Cache is a set-associative LRU cache timing model. It tracks tags only;
 // data stays in Memory.
 type Cache struct {
-	cfg      CacheConfig
-	sets     int
-	lineBits uint
-	tags     []uint32 // sets*assoc entries; tag = addr >> lineBits
+	cfg      CacheConfig //resetcheck:allow geometry fixed at construction
+	sets     int         //resetcheck:allow derived from cfg at construction
+	lineBits uint        //resetcheck:allow derived from cfg at construction
+	tags     []uint32    //resetcheck:allow stale tags are unreadable once valid is cleared
 	valid    []bool
-	lru      []uint32 // per-entry LRU stamp
+	lru      []uint32 //resetcheck:allow stale stamps only order victims among invalid lines
 	clock    uint32
 
 	Accesses uint64
@@ -136,10 +136,12 @@ func (c *Cache) MissRate() float64 {
 	return float64(c.Misses) / float64(c.Accesses)
 }
 
-// Reset clears contents and statistics.
+// Reset clears contents, statistics and any attached miss hook (hooks
+// are per-run observers, like the machine's block and checkpoint hooks).
 func (c *Cache) Reset() {
 	for i := range c.valid {
 		c.valid[i] = false
 	}
 	c.Accesses, c.Misses, c.clock = 0, 0, 0
+	c.MissHook = nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"dtsvliw/internal/core"
 	"dtsvliw/internal/metrics"
+	"dtsvliw/internal/progcheck"
 	"dtsvliw/internal/progen"
 	"dtsvliw/internal/vliw"
 )
@@ -290,6 +291,14 @@ func (r *sweepRunner) runCase(i int) caseResult {
 	nc.Cfg.FastForward = r.o.FastForward
 	nc.Cfg.Metrics = r.reg
 	src := progen.Generate(progen.ShapeParams(shape, seed))
+	if err := progcheck.Certify(src); err != nil {
+		// A structurally malformed generated program would make every
+		// engine diverge from nothing in particular: reject it before any
+		// engine runs it, and report the generator bug as its own failure.
+		return caseResult{failure: &Failure{Seed: seed, Shape: shape, ConfigName: nc.Name,
+			Engines: r.o.EngineDiff, Source: src, OrigLines: countLines(src),
+			Lines: countLines(src), Err: err}}
+	}
 
 	res, err := r.diffRun(src, nc.Cfg)
 	if err == nil {

@@ -52,12 +52,12 @@ func DefaultConfig() Config {
 // Pipeline prices instructions. The zero value with a zero Config models
 // an ideal single-cycle machine.
 type Pipeline struct {
-	cfg Config
+	cfg Config //resetcheck:allow configuration is fixed at construction
 
 	prevWasLoad bool
 	// prevDests is a fixed buffer (no producer writes more than four
 	// locations) so pricing never allocates per decoded load.
-	prevDests  [4]isa.Loc
+	prevDests  [4]isa.Loc //resetcheck:allow stale entries are unreadable once FlushState zeroes nPrevDests
 	nPrevDests int
 
 	// scoreboard (multicycle mode): in-flight results and when they are

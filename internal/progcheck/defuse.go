@@ -1,0 +1,216 @@
+package progcheck
+
+import "sort"
+
+// locSet is a bitset over the numLocs architectural dataflow locations.
+type locSet [2]uint64
+
+func (s *locSet) add(l uint8)      { s[l>>6] |= 1 << (l & 63) }
+func (s *locSet) has(l uint8) bool { return s[l>>6]&(1<<(l&63)) != 0 }
+func (s *locSet) orWith(o locSet) bool {
+	before := *s
+	s[0] |= o[0]
+	s[1] |= o[1]
+	return *s != before
+}
+func (s *locSet) andNot(o locSet) locSet {
+	return locSet{s[0] &^ o[0], s[1] &^ o[1]}
+}
+
+// Locs expands the set into sorted location indices (for tests and
+// reports).
+func (s locSet) Locs() []uint8 {
+	var out []uint8
+	for l := uint8(0); l < numLocs; l++ {
+		if s.has(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Liveness holds per-block live-in/live-out sets over the architectural
+// locations, computed by the standard backward fixpoint. SAVE/RESTORE use
+// their architectural footprint (sources, destination, CWP): liveness
+// across window rotation is approximate by design (DESIGN.md §18).
+type Liveness struct {
+	In  []locSet // per block
+	Out []locSet
+}
+
+// Liveness computes per-block liveness over the CFG.
+func (c *CFG) Liveness() *Liveness {
+	n := len(c.Blocks)
+	lv := &Liveness{In: make([]locSet, n), Out: make([]locSet, n)}
+	use := make([]locSet, n)
+	def := make([]locSet, n)
+	for bi := range c.Blocks {
+		b := &c.Blocks[bi]
+		var rbuf, wbuf [8]uint8
+		for i := int(b.Start-c.TextBase) / 4; i < int(b.End-c.TextBase)/4; i++ {
+			if !c.Ok[i] {
+				continue
+			}
+			reads, writes := footprint(&c.Insts[i], rbuf[:0], wbuf[:0])
+			for _, r := range reads {
+				if r != 0 && !def[bi].has(r) {
+					use[bi].add(r)
+				}
+			}
+			for _, w := range writes {
+				if w != 0 {
+					def[bi].add(w)
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			var out locSet
+			for _, s := range c.Blocks[bi].Succs {
+				out.orWith(lv.In[s])
+			}
+			lv.Out[bi] = out
+			live := out.andNot(def[bi])
+			live.orWith(use[bi])
+			if lv.In[bi].orWith(live) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// DefSite identifies one definition of a location: the address of the
+// writing instruction, or the entry sentinel.
+type DefSite struct {
+	Addr  uint32
+	Entry bool // definition is "live-in at a CFG root" (no writing instruction)
+}
+
+// UseDefs lists, for one instruction read, every definition that can
+// reach it.
+type UseDefs struct {
+	Addr uint32 // the reading instruction
+	Loc  uint8  // what it reads (locName renders it)
+	Defs []DefSite
+}
+
+// DefUse computes global def-use chains by per-location reaching
+// definitions: for every read of every reachable instruction, the set of
+// instruction addresses whose write can reach it (plus the entry sentinel
+// when no write dominates every path). Results are in address order.
+func (c *CFG) DefUse() []UseDefs {
+	// Collect def sites per location.
+	type def struct {
+		addr uint32
+		word int
+	}
+	defsOf := make([][]def, numLocs)
+	var rbuf, wbuf [8]uint8
+	for i := range c.Insts {
+		if !c.Ok[i] {
+			continue
+		}
+		_, writes := footprint(&c.Insts[i], rbuf[:0], wbuf[:0])
+		addr := c.TextBase + uint32(4*i)
+		for _, w := range writes {
+			if w != 0 {
+				defsOf[w] = append(defsOf[w], def{addr, i})
+			}
+		}
+	}
+
+	var out []UseDefs
+	// Per-location forward bitset dataflow; bit len(defs) is the entry
+	// sentinel.
+	for loc := uint8(1); loc < numLocs; loc++ {
+		defs := defsOf[loc]
+		nb := len(defs) + 1
+		words := (nb + 63) / 64
+		defBit := make(map[int]int, len(defs)) // word index -> def bit
+		for di, d := range defs {
+			defBit[d.word] = di
+		}
+		newSet := func() []uint64 { return make([]uint64, words) }
+		in := make([][]uint64, len(c.Blocks))
+		for _, r := range c.Roots {
+			in[r] = newSet()
+			in[r][(nb-1)/64] |= 1 << ((nb - 1) & 63) // entry sentinel
+		}
+		for changed := true; changed; {
+			changed = false
+			for bi := range c.Blocks {
+				b := &c.Blocks[bi]
+				if !b.Reachable || in[bi] == nil {
+					continue
+				}
+				cur := append([]uint64(nil), in[bi]...)
+				for i := int(b.Start-c.TextBase) / 4; i < int(b.End-c.TextBase)/4; i++ {
+					if di, isDef := defBit[i]; isDef {
+						for w := range cur {
+							cur[w] = 0
+						}
+						cur[di/64] |= 1 << (di & 63)
+					}
+				}
+				for _, s := range b.Succs {
+					if in[s] == nil {
+						in[s] = append([]uint64(nil), cur...)
+						changed = true
+						continue
+					}
+					for w := range cur {
+						if in[s][w]|cur[w] != in[s][w] {
+							in[s][w] |= cur[w]
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		// Emit use-def chains for this location.
+		for bi := range c.Blocks {
+			b := &c.Blocks[bi]
+			if !b.Reachable || in[bi] == nil {
+				continue
+			}
+			cur := append([]uint64(nil), in[bi]...)
+			for i := int(b.Start-c.TextBase) / 4; i < int(b.End-c.TextBase)/4; i++ {
+				if !c.Ok[i] {
+					continue
+				}
+				reads, _ := footprint(&c.Insts[i], rbuf[:0], wbuf[:0])
+				for _, r := range reads {
+					if r != loc {
+						continue
+					}
+					ud := UseDefs{Addr: c.TextBase + uint32(4*i), Loc: loc}
+					for di := 0; di < len(defs); di++ {
+						if cur[di/64]&(1<<(di&63)) != 0 {
+							ud.Defs = append(ud.Defs, DefSite{Addr: defs[di].addr})
+						}
+					}
+					if cur[(nb-1)/64]&(1<<((nb-1)&63)) != 0 {
+						ud.Defs = append(ud.Defs, DefSite{Entry: true})
+					}
+					out = append(out, ud)
+				}
+				if di, isDef := defBit[i]; isDef {
+					for w := range cur {
+						cur[w] = 0
+					}
+					cur[di/64] |= 1 << (di & 63)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Loc < out[j].Loc
+	})
+	return out
+}

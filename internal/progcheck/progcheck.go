@@ -1,0 +1,116 @@
+package progcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"dtsvliw/internal/asm"
+)
+
+// Options configures a progcheck run. The defaults mirror the repository
+// loaders: 8 register windows and the [0x7E000, 0x80000) stack the
+// workload harness maps.
+type Options struct {
+	NWin    int    // register windows (0 = 8)
+	StackLo uint32 // stack segment (0,0 = the workload loader's default)
+	StackHi uint32
+}
+
+func (o *Options) fill() {
+	if o.NWin <= 0 {
+		o.NWin = 8
+	}
+	if o.StackLo == 0 && o.StackHi == 0 {
+		o.StackLo, o.StackHi = 0x7E000, 0x80000
+	}
+}
+
+// Result is the outcome of checking one program.
+type Result struct {
+	CFG   *CFG
+	Diags []Diagnostic // sorted, waivers applied
+}
+
+// Unwaived returns the diagnostics not covered by a progcheck:allow
+// comment, optionally restricted to hard kinds.
+func (r *Result) Unwaived(hardOnly bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Waived || (hardOnly && !d.Kind.Hard()) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Counts tallies the diagnostics per kind (waived ones included; the
+// report distinguishes them line by line).
+func (r *Result) Counts() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, d := range r.Diags {
+		m[d.Kind]++
+	}
+	return m
+}
+
+// Report renders the result as the deterministic text report committed as
+// a golden file: one header line, then one line per diagnostic.
+func (r *Result) Report(name string) string {
+	var sb strings.Builder
+	un := len(r.Unwaived(false))
+	fmt.Fprintf(&sb, "%s: %d blocks, %d loops, %d diagnostics (%d unwaived)\n",
+		name, len(r.CFG.Blocks), len(r.CFG.Loops), len(r.Diags), un)
+	for i := range r.Diags {
+		fmt.Fprintf(&sb, "  %s\n", r.Diags[i].String())
+	}
+	return sb.String()
+}
+
+// Analyze runs every pass over an already-assembled program. The source
+// is consulted only for waiver comments; pass "" to apply no waivers.
+func Analyze(p *asm.Program, source string, o Options) *Result {
+	o.fill()
+	c := BuildCFG(p)
+	ds := c.structural()
+	ds = append(ds, c.uninitReads()...)
+	ds = append(ds, c.windowDepth(o.NWin)...)
+	ds = append(ds, c.memRange(o.StackLo, o.StackHi)...)
+	w := parseWaivers(source)
+	for i := range ds {
+		if ds[i].Line > 0 && w.covers(ds[i].Line, ds[i].Kind) {
+			ds[i].Waived = true
+		}
+	}
+	sortDiags(ds)
+	return &Result{CFG: c, Diags: ds}
+}
+
+// Check assembles the source and runs every pass over it.
+func Check(source string, o Options) (*Result, error) {
+	p, err := asm.Assemble(source)
+	if err != nil {
+		return nil, fmt.Errorf("progcheck: assemble: %w", err)
+	}
+	return Analyze(p, source, o), nil
+}
+
+// Certify checks the source and fails on any unwaived hard diagnostic:
+// the gate generated programs pass before the differential oracle or an
+// experiment is allowed to execute them. Advisory diagnostics never fail
+// certification (generated code trips them benignly).
+func Certify(source string) error {
+	r, err := Check(source, Options{})
+	if err != nil {
+		return err
+	}
+	if hard := r.Unwaived(true); len(hard) > 0 {
+		msgs := make([]string, len(hard))
+		for i := range hard {
+			msgs[i] = hard[i].String()
+		}
+		return fmt.Errorf("progcheck: %d hard diagnostic(s):\n%s",
+			len(hard), strings.Join(msgs, "\n"))
+	}
+	return nil
+}

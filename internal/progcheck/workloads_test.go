@@ -1,0 +1,68 @@
+package progcheck_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dtsvliw/internal/progcheck"
+	"dtsvliw/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden workloads report")
+
+// workloadsReport renders the canonical progcheck report over every
+// workload, in presentation order.
+func workloadsReport(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, w := range workloads.All() {
+		r, err := progcheck.Check(w.Source, progcheck.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		sb.WriteString(r.Report(w.Name))
+	}
+	return sb.String()
+}
+
+// TestWorkloadsGoldenReport pins the full diagnostic report over the
+// eight workloads: any change to the analyses, the workloads, or their
+// waivers shows up as a readable diff. Run with -update to accept.
+func TestWorkloadsGoldenReport(t *testing.T) {
+	got := workloadsReport(t)
+	golden := filepath.Join("testdata", "workloads.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("workloads report drifted from golden (run with -update to accept):\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Determinism: a second pass must be byte-identical.
+	if again := workloadsReport(t); again != got {
+		t.Error("workloads report is not deterministic across runs")
+	}
+}
+
+// TestWorkloadsCertified asserts every workload is free of unwaived
+// diagnostics of any kind: defects are either fixed or carry a justified
+// progcheck:allow waiver in the source.
+func TestWorkloadsCertified(t *testing.T) {
+	for _, w := range workloads.All() {
+		r, err := progcheck.Check(w.Source, progcheck.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if open := r.Unwaived(false); len(open) != 0 {
+			t.Errorf("%s has %d unwaived diagnostics:\n%s", w.Name, len(open), r.Report(w.Name))
+		}
+	}
+}

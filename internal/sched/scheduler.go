@@ -54,10 +54,10 @@ type renEntry struct {
 // Flush for externally triggered flushes (VLIW Cache hit, non-schedulable
 // instruction).
 type Scheduler struct {
-	cfg    Config
-	strat  Strategy // placement policy (Config.Strategy; FCFS by default)
-	maxLat int
-	nPhys  int        // physical integer registers (rename-table geometry)
+	cfg    Config     //resetcheck:allow configuration is fixed at construction
+	strat  Strategy   //resetcheck:allow placement policy (Config.Strategy; FCFS by default), fixed at construction
+	maxLat int        //resetcheck:allow derived from cfg at construction
+	nPhys  int        //resetcheck:allow physical integer registers (rename-table geometry), fixed at construction
 	elems  []*element // index 0 is the scheduling-list head
 
 	blockTag   uint32
@@ -77,7 +77,7 @@ type Scheduler struct {
 	// instead). renTab is a direct-mapped epoch-stamped table covering
 	// every register and singleton location; renameMap is the fallback for
 	// locations outside the table's geometry (none in practice).
-	renTab    []renEntry
+	renTab    []renEntry //resetcheck:allow epoch-stamped; Reset invalidates every binding via renEpoch++
 	renEpoch  uint64
 	renLive   int // live renTab bindings in the current block
 	renameMap map[isa.Loc]RenameReg
@@ -85,7 +85,7 @@ type Scheduler struct {
 	// acceptMask, per FU class, has bit i set iff slot i accepts the
 	// class; free-slot lookup is then one AND-NOT against the element's
 	// occupancy mask.
-	acceptMask [isa.FUAny + 1]uint64
+	acceptMask [isa.FUAny + 1]uint64 //resetcheck:allow pure function of cfg.FUs, computed at construction
 
 	// conservative holds block tags (address plus entry window pointer)
 	// that must be scheduled without load/store reordering after an
@@ -109,32 +109,34 @@ type Scheduler struct {
 	// ones mounted since the last Reset.
 	elemPool  []*element
 	slotChunk []Slot
-	slotSlabs [][]Slot
+	slotSlabs [][]Slot //resetcheck:allow allocation registry; Reset remounts it wholesale
 	slotFree  []*Slot
 	locArena  []isa.Loc
-	locSlabs  [][]isa.Loc
+	locSlabs  [][]isa.Loc //resetcheck:allow allocation registry; Reset rewinds the mount cursor
 	locNext   int
 	pairArena []RenamePair
-	pairSlabs [][]RenamePair
+	pairSlabs [][]RenamePair //resetcheck:allow allocation registry; Reset rewinds the mount cursor
 	pairNext  int
-	blockPool []*Block
+	blockPool []*Block //resetcheck:allow recycled-block pool, deliberately kept across runs
 
 	// Reusable scratch buffers for the insertion hot path. Each buffer is
-	// private to one phase of Insert/moveUp, so no two live uses alias.
-	scratchReads  []isa.Loc    // buildSlot: effects assembly
-	scratchWrites []isa.Loc    //
-	scratchLocs   []isa.Loc    // horizonOutputConflicts: horizon write set
-	scratchOut    []isa.Loc    // horizonOutputConflicts result
-	scratchAnti   []isa.Loc    // antiConflicts result
-	scratchConf   []isa.Loc    // moveUp: deduplicated conflict set
-	scratchRem    []isa.Loc    // split: surviving write set
-	scratchCpR    []isa.Loc    // split: copy-instruction reads
-	scratchCpW    []isa.Loc    // split: copy-instruction writes
-	scratchPairsA []RenamePair // buildSlot SrcRenames / split Renames
-	scratchPairsB []RenamePair // split Copies
-	scratchSig    isa.Sig      // antiConflicts: exclusion signature
+	// private to one phase of Insert/moveUp, so no two live uses alias;
+	// every use truncates before writing, so stale contents are never
+	// read and the buffers survive Reset on purpose (capacity reuse).
+	scratchReads  []isa.Loc    //resetcheck:allow buildSlot: effects assembly
+	scratchWrites []isa.Loc    //resetcheck:allow
+	scratchLocs   []isa.Loc    //resetcheck:allow horizonOutputConflicts: horizon write set
+	scratchOut    []isa.Loc    //resetcheck:allow horizonOutputConflicts result
+	scratchAnti   []isa.Loc    //resetcheck:allow antiConflicts result
+	scratchConf   []isa.Loc    //resetcheck:allow moveUp: deduplicated conflict set
+	scratchRem    []isa.Loc    //resetcheck:allow split: surviving write set
+	scratchCpR    []isa.Loc    //resetcheck:allow split: copy-instruction reads
+	scratchCpW    []isa.Loc    //resetcheck:allow split: copy-instruction writes
+	scratchPairsA []RenamePair //resetcheck:allow buildSlot SrcRenames / split Renames
+	scratchPairsB []RenamePair //resetcheck:allow split Copies
+	scratchSig    isa.Sig      //resetcheck:allow antiConflicts: exclusion signature, rebuilt per call
 
-	tel *telemetry.Collector // nil when telemetry is disabled
+	tel *telemetry.Collector //resetcheck:allow nil when telemetry is disabled; pooled reuse refuses telemetry machines
 
 	Stats Stats
 }

@@ -73,9 +73,9 @@ const SetGroups = 16
 
 // Cache is the VLIW Cache.
 type Cache struct {
-	cfg     Config
-	sets    int
-	setMask uint32 // sets-1; sets is a power of two
+	cfg     Config //resetcheck:allow configuration is fixed at construction
+	sets    int    //resetcheck:allow derived from cfg at construction
+	setMask uint32 //resetcheck:allow sets-1 (sets is a power of two), fixed at construction
 	lines   []line // sets*assoc
 	clock   uint64
 	// used records the index of every line that has held a block since
@@ -99,7 +99,7 @@ type Cache struct {
 	SetHits          [SetGroups]uint64
 	SetEvictions     [SetGroups]uint64
 	SetInvalidations [SetGroups]uint64
-	groupShift       uint
+	groupShift       uint //resetcheck:allow pure function of sets, computed at construction
 
 	// Chain-link statistics: ChainHits counts transitions resolved by
 	// Follow (each also counts in Hits — a chain hit is architecturally a
@@ -109,7 +109,7 @@ type Cache struct {
 	ChainLinks   uint64
 	ChainUnlinks uint64
 
-	tel *telemetry.Collector // nil when telemetry is disabled
+	tel *telemetry.Collector //resetcheck:allow nil when telemetry is disabled; pooled reuse refuses telemetry machines
 }
 
 // SetTelemetry attaches a telemetry collector (nil detaches).

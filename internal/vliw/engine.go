@@ -133,54 +133,54 @@ type Stats struct {
 // commit, aliasing, checkpoint and statistics machinery and are
 // behaviourally identical.
 type Engine struct {
-	st   *arch.State
-	nwin int
-	tel  *telemetry.Collector // nil when telemetry is disabled
+	st   *arch.State          //resetcheck:allow shared architectural state, the caller's to reset (see Reset doc)
+	nwin int                  //resetcheck:allow window count fixed at construction
+	tel  *telemetry.Collector //resetcheck:allow nil when telemetry is disabled; pooled reuse refuses telemetry machines
 
 	block *sched.Block
-	lb    *LoweredBlock // non-nil while executing a lowered block
-	ren   [sched.NumRenameClasses][]renVal
-	loads []memRec
-	strs  []memRec
+	lb    *LoweredBlock                    // non-nil while executing a lowered block
+	ren   [sched.NumRenameClasses][]renVal //resetcheck:allow resized and cleared by BeginBlock before any read
+	loads []memRec                         //resetcheck:allow truncated by beginCommon before any read
+	strs  []memRec                         //resetcheck:allow truncated by beginCommon before any read
 
 	// Flat renaming-register file for the lowered path: one arena indexed
 	// by LoweredBlock's flattened register numbers, invalidated per block
 	// by epoch stamping instead of clearing.
-	flatRen   []renVal
-	flatStamp []uint32
-	epoch     uint32
+	flatRen   []renVal //resetcheck:allow epoch-stamped; BeginLowered invalidates wholesale via epoch++
+	flatStamp []uint32 //resetcheck:allow epoch stamps; stale entries compare unequal to the bumped epoch
+	epoch     uint32   //resetcheck:allow monotonic by design; resetting it could revalidate stale stamps
 
-	shadowRegs []uint32
-	shadowF    [32]uint32
-	shadowICC  uint8
-	shadowFCC  uint8
-	shadowY    uint32
-	shadowCWP  uint8
-	undo       []undoRec
+	shadowRegs []uint32   //resetcheck:allow checkpoint buffer, fully rewritten by the next BeginBlock
+	shadowF    [32]uint32 //resetcheck:allow checkpoint buffer, fully rewritten by the next BeginBlock
+	shadowICC  uint8      //resetcheck:allow checkpoint buffer, fully rewritten by the next BeginBlock
+	shadowFCC  uint8      //resetcheck:allow checkpoint buffer, fully rewritten by the next BeginBlock
+	shadowY    uint32     //resetcheck:allow checkpoint buffer, fully rewritten by the next BeginBlock
+	shadowCWP  uint8      //resetcheck:allow checkpoint buffer, fully rewritten by the next BeginBlock
+	undo       []undoRec  //resetcheck:allow truncated by beginCommon before any read
 
-	scheme  StoreScheme
+	scheme  StoreScheme //resetcheck:allow store-handling scheme fixed at construction
 	overlay *dataStoreOverlay
 
 	// Multicycle extension: writes of latency-L slots commit at the end
 	// of long instruction issueLI+L-1. pendRens carries the interpreted
 	// path's class-indexed registers; lpendRens the lowered path's flat
 	// indices. Only one is populated per block.
-	pendWrites []pendWrite
-	pendRens   []pendRen
-	lpendRens  []lpendRen
-	maxDue     int
+	pendWrites []pendWrite //resetcheck:allow truncated by beginCommon before any read
+	pendRens   []pendRen   //resetcheck:allow truncated by beginCommon before any read
+	lpendRens  []lpendRen  //resetcheck:allow truncated by beginCommon before any read
+	maxDue     int         //resetcheck:allow recomputed by beginCommon before any read
 
 	// Per-LI scratch arenas, reused across ExecLI calls so the steady-
 	// state hot loop never allocates. Result.MemAddrs and Result.Stores
 	// alias scMemAddrs/scStores and are valid until the next ExecLI.
-	scWrites   []pendWrite
-	scRens     []pendRen
-	scLRens    []lpendRen
-	scPend     []microStore
-	scMemOps   []opMem
-	scMemAddrs []uint32
-	scStores   []arch.StoreRec
-	env        slotEnv // reusable isa.Env adapter for the interpreted path
+	scWrites   []pendWrite     //resetcheck:allow per-LI scratch, truncated at each ExecLI
+	scRens     []pendRen       //resetcheck:allow per-LI scratch, truncated at each ExecLI
+	scLRens    []lpendRen      //resetcheck:allow per-LI scratch, truncated at each ExecLI
+	scPend     []microStore    //resetcheck:allow per-LI scratch, truncated at each ExecLI
+	scMemOps   []opMem         //resetcheck:allow per-LI scratch, truncated at each ExecLI
+	scMemAddrs []uint32        //resetcheck:allow per-LI scratch, truncated at each ExecLI
+	scStores   []arch.StoreRec //resetcheck:allow per-LI scratch, truncated at each ExecLI
+	env        slotEnv         //resetcheck:allow reusable isa.Env adapter, rebound per slot
 
 	Stats Stats
 }

@@ -58,6 +58,7 @@ rep:
 
 ! solve(row in %%o0): recursive queen placement.
 solve:
+	! progcheck:allow window-depth recursion is bounded by the board size (N+1 frames), within the >=16-window configs the suite runs
 	save %%sp, -96, %%sp
 	cmp %%i0, %d
 	bne body
